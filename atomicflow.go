@@ -1,0 +1,298 @@
+// Package atomicflow is a from-scratch Go implementation of Atomic
+// Dataflow (HPCA 2022): graph-level DNN workload orchestration for
+// scalable multi-engine accelerators.
+//
+// The library partitions a DNN inference graph into atoms sized to the
+// engine microarchitecture (simulated annealing, Algorithm 1), schedules
+// the atomic DAG in engine-synchronized Rounds with priority-pruned
+// dynamic programming (Algorithm 2), places each Round's atoms on the 2D
+// mesh to minimize NoC transfer cost, manages the distributed on-chip
+// buffers with invalid-occupation eviction (Algorithm 3), and evaluates
+// the result on an event-driven system simulator with engine, NoC, HBM
+// and energy models.
+//
+// Quick start:
+//
+//	g, _ := atomicflow.LoadModel("resnet50")
+//	sol, _ := atomicflow.Orchestrate(g, atomicflow.Options{Batch: 1})
+//	fmt.Printf("latency: %.2f ms, utilization: %.1f%%\n",
+//	    sol.Report.TimeMS, 100*sol.Report.PEUtilization)
+//
+// The baseline strategies the paper compares against (Layer-Sequential,
+// CNN-Partition, Inter-Layer Pipelining, Rammer-style rTask packing) are
+// exposed through RunLS, RunCNNP, RunILPipe and RunRammer.
+package atomicflow
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"github.com/atomic-dataflow/atomicflow/internal/anneal"
+	"github.com/atomic-dataflow/atomicflow/internal/atom"
+	"github.com/atomic-dataflow/atomicflow/internal/baseline"
+	"github.com/atomic-dataflow/atomicflow/internal/dram"
+	"github.com/atomic-dataflow/atomicflow/internal/energy"
+	"github.com/atomic-dataflow/atomicflow/internal/engine"
+	"github.com/atomic-dataflow/atomicflow/internal/graph"
+	"github.com/atomic-dataflow/atomicflow/internal/modelio"
+	"github.com/atomic-dataflow/atomicflow/internal/models"
+	"github.com/atomic-dataflow/atomicflow/internal/noc"
+	"github.com/atomic-dataflow/atomicflow/internal/schedule"
+	"github.com/atomic-dataflow/atomicflow/internal/sim"
+	"github.com/atomic-dataflow/atomicflow/internal/trace"
+)
+
+// Core workload and hardware types, aliased from the implementation
+// packages so the whole public surface lives in this package.
+type (
+	// Graph is a DNN inference workload: a DAG of layers.
+	Graph = graph.Graph
+	// Layer is one vertex of a workload graph.
+	Layer = graph.Layer
+	// Shape holds CONV-style tensor parameters (Hi, Wi, Ci, Ho, Wo, Co,
+	// Kh, Kw, stride, padding).
+	Shape = graph.Shape
+	// OpKind enumerates layer operator types.
+	OpKind = graph.OpKind
+	// Dataflow selects the engine's spatial unrolling (KC-P or YX-P).
+	Dataflow = engine.Dataflow
+	// EngineConfig describes a single tensor engine.
+	EngineConfig = engine.Config
+	// HardwareConfig assembles the full accelerator model.
+	HardwareConfig = sim.Config
+	// Report is a simulation outcome: cycles, utilization, traffic,
+	// energy breakdown.
+	Report = sim.Report
+	// ScheduleMode selects the DAG scheduling effort (DP or greedy).
+	ScheduleMode = schedule.Mode
+	// EnergyBreakdown itemizes energy by component in picojoules.
+	EnergyBreakdown = energy.Breakdown
+	// Mesh is the 2D-mesh NoC.
+	Mesh = noc.Mesh
+	// DRAMConfig describes the HBM stack.
+	DRAMConfig = dram.Config
+	// EnergyModel holds per-event energy costs.
+	EnergyModel = energy.Model
+)
+
+// Operator kinds.
+const (
+	OpInput         = graph.OpInput
+	OpConv          = graph.OpConv
+	OpDepthwiseConv = graph.OpDepthwiseConv
+	OpFC            = graph.OpFC
+	OpPool          = graph.OpPool
+	OpEltwise       = graph.OpEltwise
+	OpConcat        = graph.OpConcat
+	OpActivation    = graph.OpActivation
+	OpGlobalPool    = graph.OpGlobalPool
+)
+
+// Dataflows (paper Sec. V-B): KCPartition is the NVDLA-style channel
+// unrolling, YXPartition the ShiDianNao-style spatial unrolling, and
+// FlexPartition the paper's Discussion extension for arrays that
+// spatially map three loop dimensions (set EngineConfig.PEz).
+const (
+	KCPartition   = engine.KCPartition
+	YXPartition   = engine.YXPartition
+	FlexPartition = engine.FlexPartition
+)
+
+// Scheduling modes.
+const (
+	ModeDP     = schedule.DP
+	ModeGreedy = schedule.Greedy
+)
+
+// NewGraph returns an empty workload graph; add layers with
+// (*Graph).AddLayer and call (*Graph).Finalize before orchestration.
+func NewGraph(name string) *Graph { return graph.New(name) }
+
+// UnionGraphs combines several finalized workloads into one multi-tenant
+// graph: orchestrating the union co-locates the DNNs on the accelerator,
+// with the scheduler interleaving their atoms like batch samples.
+func UnionGraphs(name string, gs ...*Graph) (*Graph, error) { return graph.Union(name, gs...) }
+
+// Shape constructors.
+var (
+	ConvShape    = graph.ConvShape
+	FCShape      = graph.FCShape
+	PoolShape    = graph.PoolShape
+	EltwiseShape = graph.EltwiseShape
+)
+
+// NewMesh builds a W x H engine mesh with the given per-cycle link
+// bandwidth in bytes.
+func NewMesh(w, h, linkBytes int) *Mesh { return noc.NewMesh(w, h, linkBytes) }
+
+// LoadModel builds one of the bundled workloads (see ModelNames).
+func LoadModel(name string) (*Graph, error) { return models.Build(name) }
+
+// WriteModel serializes a workload graph to the JSON exchange format —
+// the library's ONNX-analogue interchange (see internal/modelio).
+func WriteModel(w io.Writer, g *Graph) error { return modelio.Write(w, g) }
+
+// ReadModel parses a workload graph from the JSON exchange format and
+// returns it finalized.
+func ReadModel(r io.Reader) (*Graph, error) { return modelio.Read(r) }
+
+// ModelNames lists the bundled workload names.
+func ModelNames() []string { return models.Names() }
+
+// PaperWorkloads lists the eight models of the paper's Table I.
+func PaperWorkloads() []string { return append([]string(nil), models.PaperWorkloads...) }
+
+// DefaultHardware returns the paper's evaluation platform (Sec. V-A):
+// 8x8 engines of 16x16 PEs, 128 KB SRAM each, 500 MHz, 4 GB HBM at
+// 128 GB/s, 2D-mesh NoC.
+func DefaultHardware() HardwareConfig { return sim.DefaultConfig() }
+
+// Options tunes Orchestrate. The zero value gives the paper's defaults on
+// the default hardware with batch 1.
+type Options struct {
+	// Batch is the number of inference samples gathered into one atomic
+	// DAG (default 1).
+	Batch int
+	// Hardware is the accelerator model (default DefaultHardware()).
+	Hardware *HardwareConfig
+	// Mode selects DP (default) or greedy scheduling.
+	Mode ScheduleMode
+	// SAIters bounds the simulated-annealing search (default 600).
+	SAIters int
+	// Seed makes the SA search reproducible (default 1).
+	Seed int64
+	// MaxTilesPerLayer caps the atom count per layer (default 1024).
+	MaxTilesPerLayer int
+	// TraceWriter, when non-nil, receives a Chrome trace-event JSON
+	// document of the simulated execution (open in chrome://tracing or
+	// Perfetto; one lane per engine).
+	TraceWriter io.Writer
+}
+
+func (o Options) batch() int {
+	if o.Batch < 1 {
+		return 1
+	}
+	return o.Batch
+}
+
+func (o Options) hardware() HardwareConfig {
+	if o.Hardware != nil {
+		return *o.Hardware
+	}
+	return DefaultHardware()
+}
+
+// Solution is a complete atomic-dataflow orchestration of one workload.
+type Solution struct {
+	// Report is the simulated execution outcome.
+	Report Report
+	// Atoms is the atomic DAG size (excluding virtual input atoms).
+	Atoms int
+	// Rounds is the schedule length.
+	Rounds int
+	// AtomCycleCV is the coefficient of variation of atom execution
+	// cycles after SA — the load-balance metric of Algorithm 1.
+	AtomCycleCV float64
+	// SATrace is the SA convergence trace (variance per iteration).
+	SATrace []float64
+	// SearchTime is the compile-time cost of the full search.
+	SearchTime time.Duration
+
+	dag   *atom.DAG
+	sched *schedule.Schedule
+}
+
+// Orchestrate runs the full atomic-dataflow pipeline on the workload:
+// SA atom generation, atomic DAG construction, DAG scheduling, and
+// simulation with mapping + buffering.
+func Orchestrate(g *Graph, opt Options) (*Solution, error) {
+	if g == nil {
+		return nil, fmt.Errorf("atomicflow: nil graph")
+	}
+	hw := opt.hardware()
+	if err := hw.Validate(); err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	res := anneal.SA(g, hw.Engine, hw.Dataflow, anneal.Options{
+		MaxIters:       opt.SAIters,
+		Seed:           opt.Seed,
+		MaxTilesPerLay: opt.MaxTilesPerLayer,
+	})
+	d, err := atom.Build(g, opt.batch(), res.Spec)
+	if err != nil {
+		return nil, err
+	}
+	s, err := schedule.Build(d, schedule.Options{
+		Engines:   hw.Mesh.Engines(),
+		Mode:      opt.Mode,
+		EngineCfg: hw.Engine,
+		Dataflow:  hw.Dataflow,
+	})
+	if err != nil {
+		return nil, err
+	}
+	searchTime := time.Since(start)
+	if opt.TraceWriter != nil {
+		col := &trace.Collector{}
+		hw.Trace = col.Hook
+		defer func() {
+			if err := col.WriteChrome(opt.TraceWriter, g); err != nil {
+				fmt.Fprintf(opt.TraceWriter, `{"error": %q}`, err.Error())
+			}
+		}()
+	}
+	rep, err := sim.Run(d, s, hw)
+	if err != nil {
+		return nil, err
+	}
+	atoms := 0
+	for _, a := range d.Atoms {
+		if a.Task.Kind != graph.OpInput {
+			atoms++
+		}
+	}
+	return &Solution{
+		Report:      rep,
+		Atoms:       atoms,
+		Rounds:      s.NumRounds(),
+		AtomCycleCV: res.FinalCV,
+		SATrace:     res.Trace,
+		SearchTime:  searchTime,
+		dag:         d,
+		sched:       s,
+	}, nil
+}
+
+// Baseline strategies (paper Sec. II-B, V-A). Each runs the named
+// orchestration on the same hardware model and returns its Report.
+
+// RunLS simulates the Layer-Sequential baseline.
+func RunLS(g *Graph, batch int, hw HardwareConfig) (Report, error) {
+	return baseline.LS(g, batchOr1(batch), hw)
+}
+
+// RunCNNP simulates the CNN-Partition baseline.
+func RunCNNP(g *Graph, batch int, hw HardwareConfig) (Report, error) {
+	return baseline.CNNP(g, batchOr1(batch), hw)
+}
+
+// RunILPipe simulates the Inter-Layer Pipelining baseline (with ALLO
+// fine-grained pipelining).
+func RunILPipe(g *Graph, batch int, hw HardwareConfig) (Report, error) {
+	return baseline.ILPipe(g, batchOr1(batch), hw)
+}
+
+// RunRammer simulates a Rammer-style rTask co-location baseline.
+func RunRammer(g *Graph, batch int, hw HardwareConfig) (Report, error) {
+	return baseline.Rammer(g, batchOr1(batch), hw)
+}
+
+func batchOr1(b int) int {
+	if b < 1 {
+		return 1
+	}
+	return b
+}

@@ -1,0 +1,393 @@
+package atomicflow
+
+// Benchmark harness: one testing.B benchmark per table and figure of the
+// paper's evaluation (Sec. V). Each benchmark regenerates its experiment
+// through internal/experiments and reports the headline quantity as a
+// custom metric, so `go test -bench=. -benchmem` reproduces the whole
+// evaluation. The workload set per bench is a representative subset (one
+// per structural class) so the full sweep completes in minutes; run
+// `cmd/adexp` for the complete Table-I workload list.
+
+import (
+	"testing"
+
+	"github.com/atomic-dataflow/atomicflow/internal/experiments"
+	"github.com/atomic-dataflow/atomicflow/internal/schedule"
+)
+
+// benchCfg is the shared experiment configuration for benches.
+func benchCfg(workloads ...string) experiments.Config {
+	return experiments.Config{
+		Workloads: workloads,
+		SAIters:   300,
+		Mode:      schedule.Greedy,
+	}
+}
+
+// BenchmarkFig2_NaiveLSUtilization regenerates Fig. 2 (naive LS layer-wise
+// PE utilization; paper averages 13.5-26.9%).
+func BenchmarkFig2_NaiveLSUtilization(b *testing.B) {
+	var avg float64
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Fig2(benchCfg())
+		if err != nil {
+			b.Fatal(err)
+		}
+		avg = 0
+		for _, r := range rows {
+			avg += r.Average
+		}
+		avg /= float64(len(rows))
+	}
+	b.ReportMetric(100*avg, "%util-LS-avg")
+}
+
+// BenchmarkFig5a_AtomCycleDistribution regenerates Fig. 5(a).
+func BenchmarkFig5a_AtomCycleDistribution(b *testing.B) {
+	var cv float64
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Fig5a(benchCfg("resnet50"))
+		if err != nil {
+			b.Fatal(err)
+		}
+		cv = rows[0].CV
+	}
+	b.ReportMetric(cv, "atom-cycle-CV")
+}
+
+// BenchmarkFig5b_SAvsGA regenerates Fig. 5(b): the SA and GA searches
+// themselves (this also measures the search overhead the paper reports
+// for its Xeon host).
+func BenchmarkFig5b_SAvsGA(b *testing.B) {
+	var ratio float64
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig5b(benchCfg("resnet50"))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.SAFinal > 0 {
+			ratio = res.GAFinal / res.SAFinal
+		}
+	}
+	b.ReportMetric(ratio, "GA/SA-final-var")
+}
+
+// BenchmarkFig8_Latency regenerates Fig. 8 (batch-1 latency, both
+// dataflows) on one cascade and one residual workload, and reports AD's
+// speedup over LS (paper: 1.45-2.30x over CNN-P which equals LS here).
+func BenchmarkFig8_Latency(b *testing.B) {
+	var speedup float64
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Fig8(benchCfg("resnet50", "vgg19"))
+		if err != nil {
+			b.Fatal(err)
+		}
+		var ad, ls float64
+		for _, r := range rows {
+			if r.Workload == "resnet50" && r.Dataflow == "KC-P" {
+				switch r.Strategy {
+				case "AD":
+					ad = r.Report.TimeMS
+				case "LS":
+					ls = r.Report.TimeMS
+				}
+			}
+		}
+		speedup = ls / ad
+	}
+	b.ReportMetric(speedup, "AD/LS-speedup")
+}
+
+// BenchmarkFig9_Throughput regenerates Fig. 9 (batch-20 throughput) and
+// reports AD's gain over CNN-P (paper: 1.12-1.38x on KC-P).
+func BenchmarkFig9_Throughput(b *testing.B) {
+	var gain float64
+	for i := 0; i < b.N; i++ {
+		cfg := benchCfg("resnet50")
+		cfg.Batch = 20
+		rows, err := experiments.Fig9(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var ad, cp float64
+		for _, r := range rows {
+			if r.Workload == "resnet50" && r.Dataflow == "KC-P" {
+				switch r.Strategy {
+				case "AD":
+					ad = r.Report.TimeMS
+				case "CNN-P":
+					cp = r.Report.TimeMS
+				}
+			}
+		}
+		gain = cp / ad
+	}
+	b.ReportMetric(gain, "AD/CNN-P-gain")
+}
+
+// BenchmarkFig10_Ablation regenerates Fig. 10 (per-stage improvements;
+// paper: DP 1.17-1.42x, SA 1.06-1.21x, reuse 1.07-1.17x).
+func BenchmarkFig10_Ablation(b *testing.B) {
+	var total float64
+	for i := 0; i < b.N; i++ {
+		cfg := benchCfg("resnet50")
+		cfg.Batch = 2
+		rows, err := experiments.Fig10(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		total = rows[0].TotalGain
+	}
+	b.ReportMetric(total, "total-stage-gain")
+}
+
+// BenchmarkFig11_Energy regenerates Fig. 11 (batch-20 energy) and reports
+// LS/AD energy ratio (>1 means AD is more efficient).
+func BenchmarkFig11_Energy(b *testing.B) {
+	var ratio float64
+	for i := 0; i < b.N; i++ {
+		cfg := benchCfg("resnet50")
+		cfg.Batch = 8
+		rows, err := experiments.Fig11(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var ad, ls float64
+		for _, r := range rows {
+			if r.Workload == "resnet50" && r.Dataflow == "KC-P" {
+				switch r.Strategy {
+				case "AD":
+					ad = r.Report.Energy.TotalMJ()
+				case "LS":
+					ls = r.Report.Energy.TotalMJ()
+				}
+			}
+		}
+		ratio = ls / ad
+	}
+	b.ReportMetric(ratio, "LS/AD-energy")
+}
+
+// BenchmarkFig12_EngineSweep regenerates Fig. 12 (U-shaped curves over
+// engine counts at fixed total PEs/buffer) and reports the sweet-spot
+// grid side (paper: 4x4-8x8).
+func BenchmarkFig12_EngineSweep(b *testing.B) {
+	var sweet float64
+	for i := 0; i < b.N; i++ {
+		cfg := benchCfg("resnet50")
+		cfg.Batch = 1
+		points, err := experiments.Fig12(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		g, _ := experiments.SweetSpot(points, "resnet50", 1)
+		sweet = float64(g)
+	}
+	b.ReportMetric(sweet, "sweet-spot-grid")
+}
+
+// BenchmarkFig13_BufferSweep regenerates Fig. 13 (latency vs per-engine
+// buffer) and reports the 32KB/512KB latency ratio (diminishing returns).
+func BenchmarkFig13_BufferSweep(b *testing.B) {
+	var ratio float64
+	for i := 0; i < b.N; i++ {
+		points, err := experiments.Fig13(benchCfg("resnet50"))
+		if err != nil {
+			b.Fatal(err)
+		}
+		byKB := map[int]float64{}
+		for _, p := range points {
+			byKB[p.BufferKB] = p.TimeMS
+		}
+		ratio = byKB[32] / byKB[512]
+	}
+	b.ReportMetric(ratio, "32KB/512KB-latency")
+}
+
+// BenchmarkTable1_Characterization regenerates Table I.
+func BenchmarkTable1_Characterization(b *testing.B) {
+	var params float64
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Table1(experiments.Config{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		params = 0
+		for _, r := range rows {
+			params += r.ParamsMillions
+		}
+	}
+	b.ReportMetric(params, "total-Mparams")
+}
+
+// BenchmarkTable2_Utilization regenerates Table II (PE utilization w/o
+// memory delay, NoC overhead, reuse ratio) and reports AD's utilization
+// (paper: 78.8-95.0%).
+func BenchmarkTable2_Utilization(b *testing.B) {
+	var adUtil float64
+	for i := 0; i < b.N; i++ {
+		cfg := benchCfg("resnet50")
+		cfg.Batch = 8
+		rows, err := experiments.Table2(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		adUtil = rows[0].ComputeUtil["AD"]
+	}
+	b.ReportMetric(100*adUtil, "%util-AD")
+}
+
+// BenchmarkFPGA_Prototype regenerates the Sec. V-D prototype comparison
+// and reports AD's fps gain over LS on ResNet-50 (paper: 1.43x).
+func BenchmarkFPGA_Prototype(b *testing.B) {
+	var gain float64
+	for i := 0; i < b.N; i++ {
+		cfg := benchCfg()
+		cfg.Batch = 4
+		rows, err := experiments.FPGA(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var ad, ls float64
+		for _, r := range rows {
+			if r.Workload == "resnet50" {
+				switch r.Strategy {
+				case "AD":
+					ad = r.FPS
+				case "LS":
+					ls = r.FPS
+				}
+			}
+		}
+		gain = ad / ls
+	}
+	b.ReportMetric(gain, "AD/LS-fps")
+}
+
+// BenchmarkAblationTopology compares AD on mesh, torus and H-tree
+// interconnects (the families named in Sec. IV-C) and reports the
+// torus/mesh byte-hop ratio.
+func BenchmarkAblationTopology(b *testing.B) {
+	var ratio float64
+	for i := 0; i < b.N; i++ {
+		cfg := benchCfg("resnet50")
+		cfg.Batch = 2
+		rows, err := experiments.Topologies(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var mesh, torus int64
+		for _, r := range rows {
+			switch r.Topology {
+			case "mesh":
+				mesh = r.ByteHops
+			case "torus":
+				torus = r.ByteHops
+			}
+		}
+		if mesh > 0 {
+			ratio = float64(torus) / float64(mesh)
+		}
+	}
+	b.ReportMetric(ratio, "torus/mesh-byte-hops")
+}
+
+// BenchmarkAblationMapping isolates the TransferCost mapping stage
+// (optimized vs naive placement) and reports the DRAM traffic saved.
+func BenchmarkAblationMapping(b *testing.B) {
+	var saved float64
+	for i := 0; i < b.N; i++ {
+		cfg := benchCfg("resnet50")
+		cfg.Batch = 2
+		rows, err := experiments.MappingAblation(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var naive, opt int64
+		for _, r := range rows {
+			if r.Optimized {
+				opt = r.DRAMBytes
+			} else {
+				naive = r.DRAMBytes
+			}
+		}
+		if naive > 0 {
+			saved = 1 - float64(opt)/float64(naive)
+		}
+	}
+	b.ReportMetric(100*saved, "%DRAM-saved")
+}
+
+// BenchmarkAblationLookahead sweeps the DP recursion depth of
+// Algorithm 2 and reports the depth-3 over depth-1 makespan improvement.
+func BenchmarkAblationLookahead(b *testing.B) {
+	var gain float64
+	for i := 0; i < b.N; i++ {
+		cfg := benchCfg("pnascell")
+		cfg.Batch = 4
+		rows, err := experiments.LookaheadAblation(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		gain = float64(rows[0].MakespanLB) / float64(rows[2].MakespanLB)
+	}
+	b.ReportMetric(gain, "depth3/depth1-gain")
+}
+
+// BenchmarkDiscussionFlexArray compares AD on the planar and
+// 3D-flexible arrays (paper Sec. VI-A) on the depthwise-heavy workload.
+func BenchmarkDiscussionFlexArray(b *testing.B) {
+	var ratio float64
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.FlexDataflow(benchCfg("efficientnet"))
+		if err != nil {
+			b.Fatal(err)
+		}
+		ratio = rows[0].TimeMS / rows[1].TimeMS // planar / flex
+	}
+	b.ReportMetric(ratio, "planar/flex-time")
+}
+
+// BenchmarkSearchOverhead_ResNet50 measures the compile-time search cost
+// of the full AD pipeline (paper: 66.5 s for ResNet-50 on a Xeon E5-2620;
+// this implementation is orders of magnitude faster because the Cycle()
+// oracle is a closed-form model rather than an external tool).
+func BenchmarkSearchOverhead_ResNet50(b *testing.B) {
+	g, err := LoadModel("resnet50")
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		if _, err := Orchestrate(g, Options{Batch: 1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSearchOverhead_InceptionV3 is the paper's 406.9 s point.
+func BenchmarkSearchOverhead_InceptionV3(b *testing.B) {
+	g, err := LoadModel("inceptionv3")
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		if _, err := Orchestrate(g, Options{Batch: 1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkOrchestrateScaling exercises the pipeline end to end on the
+// deepest workload (ResNet-1001) to demonstrate scalability of the
+// greedy scheduling path.
+func BenchmarkOrchestrateScaling(b *testing.B) {
+	g, err := LoadModel("resnet152")
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		if _, err := Orchestrate(g, Options{Batch: 1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,107 @@
+// Command adexp regenerates the paper's evaluation tables and figures
+// (Sec. V) on this repository's simulator.
+//
+// Usage:
+//
+//	adexp -exp table1                 # one experiment
+//	adexp -exp fig8 -workloads resnet50,vgg19
+//	adexp -exp all -fast              # everything, reduced workload set
+//
+// Experiment ids: fig2 fig5a fig5b fig8 fig9 fig10 fig11 fig12 fig13
+// table1 table2 fpga all.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"github.com/atomic-dataflow/atomicflow/internal/experiments"
+	"github.com/atomic-dataflow/atomicflow/internal/schedule"
+)
+
+// fastWorkloads is the reduced set used with -fast: one representative of
+// each structural class, keeping runtimes minutes instead of hours.
+var fastWorkloads = []string{"vgg19", "resnet50", "inceptionv3", "efficientnet"}
+
+func main() {
+	var (
+		exp       = flag.String("exp", "all", "experiment id (fig2..fig13, table1, table2, fpga, all)")
+		workloads = flag.String("workloads", "", "comma-separated workload override")
+		batch     = flag.Int("batch", 0, "batch-size override (0 = experiment default)")
+		saIters   = flag.Int("sa-iters", 400, "SA iterations")
+		seed      = flag.Int64("seed", 1, "search seed")
+		dp        = flag.Bool("dp", false, "use DP scheduling everywhere (slower; Fig 10 measures it explicitly)")
+		fast      = flag.Bool("fast", false, "reduced workload set for quick runs")
+	)
+	flag.Parse()
+
+	cfg := experiments.Config{
+		Batch:   *batch,
+		SAIters: *saIters,
+		Seed:    *seed,
+		Mode:    schedule.Greedy,
+		Out:     os.Stdout,
+	}
+	if *dp {
+		cfg.Mode = schedule.DP
+	}
+	if *workloads != "" {
+		cfg.Workloads = strings.Split(*workloads, ",")
+	} else if *fast {
+		cfg.Workloads = fastWorkloads
+	}
+
+	runners := map[string]func(experiments.Config) error{
+		"fig2":   wrap(experiments.Fig2),
+		"fig5a":  wrap(experiments.Fig5a),
+		"fig5b":  func(c experiments.Config) error { _, err := experiments.Fig5b(c); return err },
+		"fig8":   wrap(experiments.Fig8),
+		"fig9":   wrap(experiments.Fig9),
+		"fig10":  wrap(experiments.Fig10),
+		"fig11":  wrap(experiments.Fig11),
+		"fig12":  wrap(experiments.Fig12),
+		"fig13":  wrap(experiments.Fig13),
+		"table1": func(c experiments.Config) error { _, err := experiments.Table1(c); return err },
+		"table2": func(c experiments.Config) error { _, err := experiments.Table2(c); return err },
+		"fpga":   func(c experiments.Config) error { _, err := experiments.FPGA(c); return err },
+		// Ablations beyond the paper's figures (see DESIGN.md).
+		"topology":  wrap(experiments.Topologies),
+		"mapping":   wrap(experiments.MappingAblation),
+		"lookahead": wrap(experiments.LookaheadAblation),
+		"flex":      wrap(experiments.FlexDataflow),
+		"search":    wrap(experiments.SearchOverhead),
+	}
+	order := []string{"table1", "fig2", "fig5a", "fig5b", "fig8", "fig9",
+		"fig10", "fig11", "table2", "fig12", "fig13", "fpga",
+		"topology", "mapping", "lookahead", "flex", "search"}
+
+	ids := []string{*exp}
+	if *exp == "all" {
+		ids = order
+	}
+	for _, id := range ids {
+		run, ok := runners[id]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "adexp: unknown experiment %q (have %s, all)\n",
+				id, strings.Join(order, ", "))
+			os.Exit(1)
+		}
+		start := time.Now()
+		if err := run(cfg); err != nil {
+			fmt.Fprintf(os.Stderr, "adexp: %s: %v\n", id, err)
+			os.Exit(1)
+		}
+		fmt.Printf("  [%s done in %v]\n\n", id, time.Since(start).Round(time.Millisecond))
+	}
+}
+
+// wrap adapts a typed experiment runner to the common signature.
+func wrap[T any](f func(experiments.Config) (T, error)) func(experiments.Config) error {
+	return func(c experiments.Config) error {
+		_, err := f(c)
+		return err
+	}
+}

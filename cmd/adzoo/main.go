@@ -1,0 +1,62 @@
+// Command adzoo inspects the bundled DNN workload zoo: it prints Table
+// I-style characterization rows, and can dump a model's layer list or its
+// Graphviz DOT rendering.
+//
+// Usage:
+//
+//	adzoo                      # characterization of every bundled model
+//	adzoo -model pnasnet       # per-layer dump
+//	adzoo -model pnascell -dot # DOT graph on stdout
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	af "github.com/atomic-dataflow/atomicflow"
+	"github.com/atomic-dataflow/atomicflow/internal/models"
+)
+
+func main() {
+	var (
+		model  = flag.String("model", "", "dump one model's layers instead of the summary table")
+		dot    = flag.Bool("dot", false, "emit Graphviz DOT for -model")
+		export = flag.Bool("export", false, "emit the JSON exchange document for -model")
+	)
+	flag.Parse()
+
+	if *model != "" {
+		g, err := af.LoadModel(*model)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "adzoo:", err)
+			os.Exit(1)
+		}
+		if *export {
+			if err := af.WriteModel(os.Stdout, g); err != nil {
+				fmt.Fprintln(os.Stderr, "adzoo:", err)
+				os.Exit(1)
+			}
+			return
+		}
+		if *dot {
+			fmt.Print(g.DOT())
+			return
+		}
+		fmt.Println(g.Summary())
+		for _, l := range g.Layers {
+			s := l.Shape
+			fmt.Printf("  %4d %-16s %-8s in %3dx%3dx%4d out %3dx%3dx%4d k%dx%d s%d depth %d\n",
+				l.ID, l.Name, l.Kind, s.Hi, s.Wi, s.Ci, s.Ho, s.Wo, s.Co, s.Kh, s.Kw, s.Stride, l.Depth)
+		}
+		return
+	}
+
+	fmt.Printf("%-14s %7s %8s %9s %8s %6s\n", "model", "layers", "compute", "params", "GMACs", "depth")
+	for _, name := range models.Names() {
+		g := models.MustBuild(name)
+		fmt.Printf("%-14s %7d %8d %8.1fM %8.1f %6d\n",
+			name, g.NumLayers(), len(g.ComputeLayers()),
+			float64(g.TotalParams())/1e6, float64(g.TotalMACs())/1e9, g.MaxDepth())
+	}
+}

@@ -1,0 +1,55 @@
+// Multi-tenant serving: co-locate two different DNNs on one accelerator.
+// The paper's related work (HDA, PREMA, Layerweaver) motivates multi-DNN
+// scheduling; atomic dataflow gets it for free — the union of two
+// workload graphs is just another atomic DAG, and the scheduler
+// interleaves the tenants' atoms wherever either one would leave engines
+// idle.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	af "github.com/atomic-dataflow/atomicflow"
+)
+
+func main() {
+	// Two tenants that individually cannot fill an 8x8-engine chip: a
+	// small NAS cell (think: an always-on assistant model) and
+	// EfficientNet at batch 1.
+	cell, err := af.LoadModel("pnascell")
+	if err != nil {
+		log.Fatal(err)
+	}
+	eff, err := af.LoadModel("efficientnet")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	hw := af.DefaultHardware()
+	solo := 0.0
+	for _, g := range []*af.Graph{cell, eff} {
+		sol, err := af.Orchestrate(g, af.Options{Batch: 1, Hardware: &hw})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-22s %8.4f ms  util %5.1f%%\n",
+			g.Name+" alone:", sol.Report.TimeMS, 100*sol.Report.PEUtilization)
+		solo += sol.Report.TimeMS
+	}
+
+	both, err := af.UnionGraphs("pnascell+efficientnet", cell, eff)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sol, err := af.Orchestrate(both, af.Options{Batch: 1, Hardware: &hw})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%-22s %8.4f ms  util %5.1f%%\n",
+		"co-located:", sol.Report.TimeMS, 100*sol.Report.PEUtilization)
+	fmt.Printf("\nsequential total %.4f ms vs co-located %.4f ms -> %.2fx:\n",
+		solo, sol.Report.TimeMS, solo/sol.Report.TimeMS)
+	fmt.Println("the small tenant's atoms slot into rounds the big tenant cannot fill,")
+	fmt.Println("so it rides along nearly for free — no fixed resource partitioning needed.")
+}

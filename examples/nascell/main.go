@@ -1,0 +1,40 @@
+// NAS-cell scheduling: the paper's Fig. 6 walks through the parallelism
+// of a PNASNet cell — intra-layer atoms, same-depth siblings, dependent
+// layers, and batch-level parallelism. This example reproduces that
+// analysis on the bundled PNASNet cell, printing how each Round mixes
+// atoms from different layers and samples.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	af "github.com/atomic-dataflow/atomicflow"
+)
+
+func main() {
+	g, err := af.LoadModel("pnascell")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(g.Summary())
+	fmt.Printf("max graph depth %d -> layers at equal depth can run in parallel\n\n", g.MaxDepth())
+
+	// A small 2x2-engine accelerator keeps the Round trace readable.
+	hw := af.DefaultHardware()
+	hw.Mesh = af.NewMesh(2, 2, hw.Mesh.LinkBytes)
+
+	for _, batch := range []int{1, 4} {
+		sol, err := af.Orchestrate(g, af.Options{Batch: batch, Hardware: &hw, Mode: af.ModeDP})
+		if err != nil {
+			log.Fatal(err)
+		}
+		r := sol.Report
+		fmt.Printf("batch %d: %d atoms over %d rounds, %.3f ms, util %.1f%%\n",
+			batch, sol.Atoms, sol.Rounds, r.TimeMS, 100*r.PEUtilization)
+	}
+
+	fmt.Println("\nBatch-level parallelism (Fig. 6 type 4) lifts utilization: the")
+	fmt.Println("cell's irregular branches alone cannot fill every engine each Round,")
+	fmt.Println("but atoms of later samples can.")
+}

@@ -1,0 +1,40 @@
+// Tracing: export a Chrome trace of an atomic-dataflow execution and
+// print a terminal Gantt summary. The trace makes the scheduler's
+// behaviour visible — which layers share Rounds, how full each Round is,
+// where memory stalls stretch the barriers.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	af "github.com/atomic-dataflow/atomicflow"
+)
+
+func main() {
+	g, err := af.LoadModel("tinybranch")
+	if err != nil {
+		log.Fatal(err)
+	}
+	hw := af.DefaultHardware()
+	hw.Mesh = af.NewMesh(2, 2, hw.Mesh.LinkBytes)
+
+	f, err := os.Create("trace.json")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+
+	sol, err := af.Orchestrate(g, af.Options{
+		Batch: 2, Hardware: &hw, Mode: af.ModeDP, TraceWriter: f,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s: %d atoms over %d rounds, %.4f ms\n",
+		g.Summary(), sol.Atoms, sol.Rounds, sol.Report.TimeMS)
+	fmt.Println("wrote trace.json — open chrome://tracing or https://ui.perfetto.dev")
+	fmt.Println("\neach lane is one engine; block names are the layers whose atoms ran;")
+	fmt.Println("'mem-block' rows mark cycles where a Round outlived its compute.")
+}

@@ -1,0 +1,3 @@
+module github.com/atomic-dataflow/atomicflow
+
+go 1.22

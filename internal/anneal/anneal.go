@@ -1,0 +1,369 @@
+package anneal
+
+import (
+	"math"
+	"math/rand"
+
+	"github.com/atomic-dataflow/atomicflow/internal/atom"
+	"github.com/atomic-dataflow/atomicflow/internal/engine"
+	"github.com/atomic-dataflow/atomicflow/internal/graph"
+)
+
+// Options tunes Algorithm 1. Zero values select the defaults noted on
+// each field.
+type Options struct {
+	MaxIters       int     // ite_max (default 600)
+	Len            float64 // movement length as a fraction of the state (default 0.25)
+	Epsilon        float64 // convergence threshold on CV^2 = Var/Mean^2 (default 0.01)
+	Temp           float64 // initial temperature (default 1.0)
+	Lambda         float64 // temperature decay per iteration (default 0.98)
+	Seed           int64   // RNG seed (default 1)
+	MaxTilesPerLay int     // atom-count cap per layer (default 1024)
+	MaxSplits      int     // candidate extents per dimension (default 10)
+	BufferFraction float64 // usable fraction of the engine buffer (default 0.5, rest for double buffering)
+}
+
+func (o Options) maxIters() int {
+	if o.MaxIters <= 0 {
+		return 600
+	}
+	return o.MaxIters
+}
+func (o Options) lenFrac() float64 {
+	if o.Len <= 0 {
+		return 0.25
+	}
+	return o.Len
+}
+func (o Options) epsilon() float64 {
+	if o.Epsilon <= 0 {
+		return 0.01
+	}
+	return o.Epsilon
+}
+func (o Options) temp() float64 {
+	if o.Temp <= 0 {
+		return 0.1
+	}
+	return o.Temp
+}
+func (o Options) lambda() float64 {
+	if o.Lambda <= 0 || o.Lambda >= 1 {
+		return 0.98
+	}
+	return o.Lambda
+}
+func (o Options) seed() int64 {
+	if o.Seed == 0 {
+		return 1
+	}
+	return o.Seed
+}
+func (o Options) maxTiles() int {
+	if o.MaxTilesPerLay <= 0 {
+		return 1024
+	}
+	return o.MaxTilesPerLay
+}
+func (o Options) maxSplits() int {
+	if o.MaxSplits <= 2 {
+		return 10
+	}
+	return o.MaxSplits
+}
+func (o Options) bufferFraction() float64 {
+	if o.BufferFraction <= 0 || o.BufferFraction > 1 {
+		return 0.5
+	}
+	return o.BufferFraction
+}
+
+// Result is the outcome of atomic tensor generation.
+type Result struct {
+	Spec        atom.Spec       // chosen partition per layer (compute + vector layers)
+	LayerCycles map[int]int64   // nominal per-atom cycles of each compute layer
+	LayerUtil   map[int]float64 // PE utilization of each compute layer's atoms
+	Trace       []float64       // energy (Var of cycles) after each iteration
+	Iters       int             // iterations executed
+	FinalVar    float64         // final energy
+	FinalCV     float64         // final coefficient of variation of atom cycles
+	MeanCycle   float64         // the unified execution cycle S
+	Dataflow    engine.Dataflow // echo of the input
+	Candidates  map[int]int     // candidate-list length per layer (diagnostics)
+	cands       map[int]layerCands
+}
+
+// state is one assignment of candidate indices to compute layers.
+type state struct {
+	choice map[int]int // layerID -> candidate index
+}
+
+// SA runs the simulated-annealing search of Algorithm 1 and returns the
+// per-layer atom sizes plus the convergence trace.
+func SA(g *graph.Graph, cfg engine.Config, df engine.Dataflow, opt Options) Result {
+	sctx := newSearch(g, cfg, df, opt)
+	rng := rand.New(rand.NewSource(opt.seed()))
+
+	// Line 1-4: random initialization of every layer's atom size.
+	cur := sctx.randomState(rng)
+	// Line 5-7: initial unified cycle S = mean, energy E = Var.
+	S := sctx.mean(cur)
+	E := sctx.variance(cur, S)
+	best, bestE, bestS := cur, E, S
+
+	temp := opt.temp()
+	lenAbs := S * opt.lenFrac()
+	var trace []float64
+	iters := 0
+	for iters = 0; iters < opt.maxIters(); iters++ {
+		// Line 10: neighboring state.
+		Smove := S + (rng.Float64()*2-1)*lenAbs
+		if Smove < 1 {
+			Smove = 1
+		}
+		// Line 11-14: re-pick each layer's atom closest to S^move.
+		next := sctx.argmin(Smove)
+		Emove := sctx.variance(next, sctx.mean(next))
+		// Line 16-22: Metropolis acceptance with decaying temperature.
+		// Energies are normalized by the squared state (i.e. compared as
+		// squared coefficients of variation) so the temperature schedule
+		// is scale-free across workloads.
+		temp *= opt.lambda()
+		p := math.Exp((E - Emove) / (opt.lambda() * temp * (S*S + 1)))
+		if rng.Float64() <= p {
+			cur, E, S = next, Emove, sctx.mean(next)
+			lenAbs = S * opt.lenFrac()
+		}
+		if E < bestE {
+			best, bestE, bestS = cur, E, S
+		}
+		trace = append(trace, bestE)
+		// Line 23-25: convergence on normalized variance.
+		if bestE/(bestS*bestS+1) <= opt.epsilon() {
+			iters++
+			break
+		}
+	}
+	// Deterministic polish ("for better convergence"): sweep a grid of
+	// unified-cycle targets around the best state and keep the minimum.
+	_ = cur
+	lo, hi := bestS*0.2, bestS*2.5
+	for i := 0; i <= 96; i++ {
+		S := lo + (hi-lo)*float64(i)/96
+		st := sctx.argmin(S)
+		if e := sctx.variance(st, sctx.mean(st)); e < bestE {
+			best, bestE, bestS = st, e, sctx.mean(st)
+		}
+	}
+	if n := len(trace); n > 0 && bestE < trace[n-1] {
+		trace = append(trace, bestE)
+	}
+	return sctx.finish(best, bestE, bestS, trace, iters)
+}
+
+// search carries the immutable per-layer candidate lists.
+type search struct {
+	g     *graph.Graph
+	cfg   engine.Config
+	df    engine.Dataflow
+	opt   Options
+	cands map[int]layerCands
+	order []int   // compute layer IDs participating in the energy
+	scale float64 // energy normalization for the acceptance test
+
+	// stragglers are layers whose minimum achievable atom cycle is far
+	// above the typical layer's (e.g. a weight-bound FC whose coarsest
+	// serialization already exceeds every CONV option). They can never
+	// meet a common unified cycle, so they are excluded from the variance
+	// (they would anchor S uselessly high, starving Round packing) and
+	// simply take their closest candidate at assembly time.
+	stragglers []int
+}
+
+func newSearch(g *graph.Graph, cfg engine.Config, df engine.Dataflow, opt Options) *search {
+	s := &search{g: g, cfg: cfg, df: df, opt: opt, cands: make(map[int]layerCands)}
+	var all []int
+	var mins []int64
+	for _, lid := range g.ComputeLayers() {
+		l := g.Layer(lid)
+		s.cands[lid] = layerCands{layer: l, cands: genCandidates(l, cfg, df, opt)}
+		all = append(all, lid)
+		mins = append(mins, s.cands[lid].cands[0].cycles)
+	}
+	medianMin := median(mins)
+	for i, lid := range all {
+		if medianMin > 0 && mins[i] > 4*medianMin {
+			s.stragglers = append(s.stragglers, lid)
+		} else {
+			s.order = append(s.order, lid)
+		}
+	}
+	if len(s.order) == 0 { // degenerate graph: keep everything
+		s.order, s.stragglers = all, nil
+	}
+	// Normalize acceptance energies by the square of a typical cycle
+	// count so temperature is scale-free across workloads.
+	var sum float64
+	var n int
+	for _, lc := range s.cands {
+		for _, c := range lc.cands {
+			sum += float64(c.cycles)
+			n++
+		}
+	}
+	if n > 0 {
+		m := sum / float64(n)
+		s.scale = m*m + 1
+	} else {
+		s.scale = 1
+	}
+	return s
+}
+
+func (s *search) randomState(rng *rand.Rand) state {
+	st := state{choice: make(map[int]int, len(s.cands))}
+	for _, lid := range s.order {
+		st.choice[lid] = rng.Intn(len(s.cands[lid].cands))
+	}
+	for _, lid := range s.stragglers {
+		st.choice[lid] = 0 // minimum-cycle candidate
+	}
+	return st
+}
+
+// argmin picks, for every layer, the candidate closest to target cycles
+// (Algorithm 1 line 13). Stragglers participate too: with the target
+// below their floor this selects their minimum-cycle candidate.
+func (s *search) argmin(target float64) state {
+	st := state{choice: make(map[int]int, len(s.cands))}
+	for _, lid := range s.order {
+		lc := s.cands[lid]
+		st.choice[lid] = lc.pick(int64(target))
+	}
+	for _, lid := range s.stragglers {
+		lc := s.cands[lid]
+		st.choice[lid] = lc.pick(int64(target))
+	}
+	return st
+}
+
+// median returns the middle value of xs (xs is not modified).
+func median(xs []int64) int64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	cp := append([]int64(nil), xs...)
+	sortInt64(cp)
+	return cp[len(cp)/2]
+}
+
+func sortInt64(xs []int64) {
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+}
+
+// mean returns the mean per-layer atom execution cycle of the state.
+// Layers are weighted uniformly: weighting by atom count would reward the
+// degenerate attractor of one layer shattered into thousands of identical
+// tiny atoms (the variance collapses because the tiny atoms become the
+// population).
+func (s *search) mean(st state) float64 {
+	var sum float64
+	for _, lid := range s.order {
+		sum += float64(s.cands[lid].cands[st.choice[lid]].cycles)
+	}
+	if len(s.order) == 0 {
+		return 0
+	}
+	return sum / float64(len(s.order))
+}
+
+// variance returns the variance of per-layer atom execution cycles — the
+// system energy of Algorithm 1.
+func (s *search) variance(st state, mean float64) float64 {
+	var sum float64
+	for _, lid := range s.order {
+		d := float64(s.cands[lid].cands[st.choice[lid]].cycles) - mean
+		sum += d * d
+	}
+	if len(s.order) == 0 {
+		return 0
+	}
+	return sum / float64(len(s.order))
+}
+
+// finish assembles the Result: compute-layer partitions from the chosen
+// state plus heuristic partitions for vector-unit layers sized to the
+// unified cycle S.
+func (s *search) finish(st state, E, S float64, trace []float64, iters int) Result {
+	res := Result{
+		Spec:        make(atom.Spec),
+		LayerCycles: make(map[int]int64),
+		LayerUtil:   make(map[int]float64),
+		Trace:       trace,
+		Iters:       iters,
+		FinalVar:    E,
+		MeanCycle:   S,
+		Dataflow:    s.df,
+		Candidates:  make(map[int]int),
+		cands:       s.cands,
+	}
+	if S > 0 {
+		res.FinalCV = math.Sqrt(E) / S
+	}
+	for lid, choice := range st.choice {
+		c := s.cands[lid].cands[choice]
+		res.Spec[lid] = c.part
+		res.LayerCycles[lid] = c.cycles
+		res.LayerUtil[lid] = c.util
+		res.Candidates[lid] = len(s.cands[lid].cands)
+	}
+	// Vector-unit layers (pool/eltwise/global-pool): tile along H (and C)
+	// so one atom's vector time is at most the unified cycle S.
+	for _, l := range s.g.Layers {
+		if l.Kind.IsCompute() || l.Kind == graph.OpConcat || l.Kind == graph.OpInput {
+			continue
+		}
+		res.Spec[l.ID] = vectorPartition(l, s.cfg, S, s.opt.maxTiles())
+	}
+	return res
+}
+
+// vectorPartition sizes a vector-unit layer's atoms so each takes at most
+// targetCycles on the vector unit, splitting along H first, then C.
+func vectorPartition(l *graph.Layer, cfg engine.Config, targetCycles float64, maxTiles int) atom.Partition {
+	sh := l.Shape
+	whole := engine.Evaluate(cfg, engine.KCPartition, engine.TaskFromLayer(l))
+	if targetCycles < 1 {
+		targetCycles = 1
+	}
+	parts := int(math.Ceil(float64(whole.Cycles) / targetCycles))
+	if parts < 1 {
+		parts = 1
+	}
+	if parts > maxTiles {
+		parts = maxTiles
+	}
+	hp := ceilDiv(sh.Ho, parts)
+	cop := sh.Co
+	if hp < 1 {
+		hp = 1
+	}
+	if remaining := ceilDiv(parts, sh.Ho); hp == 1 && remaining > 1 {
+		cop = ceilDiv(sh.Co, remaining)
+		if cop < 1 {
+			cop = 1
+		}
+	}
+	return atom.Partition{Hp: hp, Wp: sh.Wo, Cop: cop}
+}
+
+func ceilDiv(a, b int) int {
+	if b <= 0 {
+		return a
+	}
+	return (a + b - 1) / b
+}

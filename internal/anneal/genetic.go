@@ -1,0 +1,124 @@
+package anneal
+
+import (
+	"math/rand"
+	"sort"
+
+	"github.com/atomic-dataflow/atomicflow/internal/engine"
+	"github.com/atomic-dataflow/atomicflow/internal/graph"
+)
+
+// GAOptions tunes the genetic-algorithm comparator used by the paper's
+// Fig. 5b convergence study.
+type GAOptions struct {
+	Options
+	Population int     // default 24
+	Elite      int     // individuals copied unchanged (default 2)
+	MutateProb float64 // per-gene mutation probability (default 0.08)
+}
+
+func (o GAOptions) population() int {
+	if o.Population <= 1 {
+		return 24
+	}
+	return o.Population
+}
+func (o GAOptions) elite() int {
+	if o.Elite <= 0 {
+		return 2
+	}
+	return o.Elite
+}
+func (o GAOptions) mutateProb() float64 {
+	if o.MutateProb <= 0 {
+		return 0.08
+	}
+	return o.MutateProb
+}
+
+// GA runs a genetic algorithm over the same candidate space as SA:
+// an individual is a per-layer candidate choice; fitness is the negated
+// variance of atom execution cycles. Its Trace records the best energy per
+// generation (one generation ~ one Trace entry, like SA's per-iteration
+// trace), exhibiting the mutation-driven rises the paper observes.
+func GA(g *graph.Graph, cfg engine.Config, df engine.Dataflow, opt GAOptions) Result {
+	sctx := newSearch(g, cfg, df, opt.Options)
+	rng := rand.New(rand.NewSource(opt.seed()))
+
+	pop := make([]state, opt.population())
+	for i := range pop {
+		pop[i] = sctx.randomState(rng)
+	}
+	energy := func(st state) float64 { return sctx.variance(st, sctx.mean(st)) }
+
+	best := pop[0]
+	bestE := energy(best)
+	var trace []float64
+	gens := 0
+	for gens = 0; gens < opt.maxIters(); gens++ {
+		// Rank by energy ascending (lower variance = fitter).
+		sort.Slice(pop, func(i, j int) bool { return energy(pop[i]) < energy(pop[j]) })
+		if e := energy(pop[0]); e < bestE {
+			bestE, best = e, cloneState(pop[0])
+		}
+		// Unlike SA's monotone best-trace, GA's trace follows the current
+		// generation's champion, which mutation can make worse — the
+		// abrupt rises/falls the paper notes in Fig. 5b.
+		trace = append(trace, energy(pop[0]))
+		if bestE/(sctx.mean(best)*sctx.mean(best)+1) <= opt.epsilon() {
+			gens++
+			break
+		}
+		next := make([]state, 0, len(pop))
+		for i := 0; i < opt.elite() && i < len(pop); i++ {
+			next = append(next, cloneState(pop[i]))
+		}
+		for len(next) < len(pop) {
+			a := tournament(pop, energy, rng)
+			b := tournament(pop, energy, rng)
+			child := crossover(sctx, a, b, rng)
+			mutate(sctx, child, rng, opt.mutateProb())
+			next = append(next, child)
+		}
+		pop = next
+	}
+	S := sctx.mean(best)
+	return sctx.finish(best, bestE, S, trace, gens)
+}
+
+func cloneState(st state) state {
+	c := state{choice: make(map[int]int, len(st.choice))}
+	for k, v := range st.choice {
+		c.choice[k] = v
+	}
+	return c
+}
+
+func tournament(pop []state, energy func(state) float64, rng *rand.Rand) state {
+	a := pop[rng.Intn(len(pop))]
+	b := pop[rng.Intn(len(pop))]
+	if energy(a) <= energy(b) {
+		return a
+	}
+	return b
+}
+
+func crossover(s *search, a, b state, rng *rand.Rand) state {
+	c := state{choice: make(map[int]int, len(s.order))}
+	for _, lid := range s.order {
+		if rng.Intn(2) == 0 {
+			c.choice[lid] = a.choice[lid]
+		} else {
+			c.choice[lid] = b.choice[lid]
+		}
+	}
+	return c
+}
+
+func mutate(s *search, st state, rng *rand.Rand, prob float64) {
+	for _, lid := range s.order {
+		if rng.Float64() < prob {
+			st.choice[lid] = rng.Intn(len(s.cands[lid].cands))
+		}
+	}
+}

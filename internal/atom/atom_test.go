@@ -1,0 +1,284 @@
+package atom
+
+import (
+	"testing"
+	"testing/quick"
+
+	"github.com/atomic-dataflow/atomicflow/internal/graph"
+	"github.com/atomic-dataflow/atomicflow/internal/models"
+)
+
+func buildDAG(t *testing.T, g *graph.Graph, batch int, spec Spec) *DAG {
+	t.Helper()
+	d, err := Build(g, batch, spec)
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	return d
+}
+
+func TestWholeLayerSingleAtom(t *testing.T) {
+	g := models.TinyConv()
+	d := buildDAG(t, g, 1, nil)
+	// One atom per non-concat layer.
+	want := 0
+	for _, l := range g.Layers {
+		if l.Kind != graph.OpConcat {
+			want++
+		}
+	}
+	if d.NumAtoms() != want {
+		t.Errorf("NumAtoms = %d, want %d", d.NumAtoms(), want)
+	}
+}
+
+func TestTileCounts(t *testing.T) {
+	g := models.TinyConv() // conv1: 32x32x16
+	conv1 := g.Layer(1)
+	spec := Spec{conv1.ID: {Hp: 16, Wp: 16, Cop: 8}}
+	d := buildDAG(t, g, 1, spec)
+	atoms := d.AtomsOf(0, conv1.ID)
+	if len(atoms) != 2*2*2 {
+		t.Errorf("conv1 atoms = %d, want 8", len(atoms))
+	}
+	// Regions must exactly cover the output tensor without overlap.
+	var covered int64
+	for _, id := range atoms {
+		covered += d.Atoms[id].OutputBytes()
+	}
+	if covered != conv1.OutputBytes() {
+		t.Errorf("atom regions cover %d bytes, want %d", covered, conv1.OutputBytes())
+	}
+}
+
+func TestRaggedTiling(t *testing.T) {
+	g := models.TinyConv()
+	conv1 := g.Layer(1) // 32x32x16
+	spec := Spec{conv1.ID: {Hp: 10, Wp: 32, Cop: 16}}
+	d := buildDAG(t, g, 1, spec)
+	atoms := d.AtomsOf(0, conv1.ID)
+	if len(atoms) != 4 {
+		t.Fatalf("atoms = %d, want 4 (32 = 10+10+10+2)", len(atoms))
+	}
+	last := d.Atoms[atoms[3]]
+	if got := last.Region.H1 - last.Region.H0; got != 2 {
+		t.Errorf("last tile height = %d, want 2", got)
+	}
+	if last.Task.Hp != 2 {
+		t.Errorf("last tile Task.Hp = %d, want 2", last.Task.Hp)
+	}
+}
+
+func TestConvReceptiveFieldDeps(t *testing.T) {
+	// Two stacked 3x3 convs, both split in half along H: the lower half
+	// of conv2 needs both halves of conv1 (1-pixel halo crosses the cut).
+	g := graph.New("halo")
+	in := g.AddLayer("input", graph.OpInput, graph.Shape{Ho: 8, Wo: 8, Co: 4})
+	c1 := g.AddLayer("c1", graph.OpConv, graph.ConvShape(8, 8, 4, 4, 3, 1, 1), in)
+	c2 := g.AddLayer("c2", graph.OpConv, graph.ConvShape(8, 8, 4, 4, 3, 1, 1), c1)
+	if err := g.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	spec := Spec{
+		c1: {Hp: 4, Wp: 8, Cop: 4},
+		c2: {Hp: 4, Wp: 8, Cop: 4},
+	}
+	d := buildDAG(t, g, 1, spec)
+	c1Atoms := d.AtomsOf(0, c1)
+	c2Atoms := d.AtomsOf(0, c2)
+	if len(c1Atoms) != 2 || len(c2Atoms) != 2 {
+		t.Fatalf("atom counts = %d, %d; want 2, 2", len(c1Atoms), len(c2Atoms))
+	}
+	// c2 top tile covers output rows [0,4); it reads input rows [0,5)
+	// which spans c1 tile [0,4) and tile [4,8).
+	top := d.Atoms[c2Atoms[0]]
+	if len(top.Deps) != 2 {
+		t.Errorf("c2 top tile deps = %v, want both c1 tiles", top.Deps)
+	}
+}
+
+func TestStridedConvDeps(t *testing.T) {
+	// Stride-2 conv: output tile [0,2) needs input rows [0,5) with k=3,
+	// i.e. only the first input tile when input split at 8.
+	g := graph.New("stride")
+	in := g.AddLayer("input", graph.OpInput, graph.Shape{Ho: 16, Wo: 16, Co: 4})
+	c1 := g.AddLayer("c1", graph.OpConv, graph.ConvShape(16, 16, 4, 4, 3, 1, 1), in)
+	c2 := g.AddLayer("c2", graph.OpConv, graph.ConvShape(16, 16, 4, 4, 3, 2, 1), c1)
+	if err := g.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	spec := Spec{
+		c1: {Hp: 8, Wp: 16, Cop: 4},
+		c2: {Hp: 2, Wp: 8, Cop: 4}, // c2 output is 8x8
+	}
+	d := buildDAG(t, g, 1, spec)
+	top := d.Atoms[d.AtomsOf(0, c2)[0]]
+	// Output rows [0,2), stride 2, pad 1, k 3 -> input rows [0, 4): only
+	// c1's first H-tile.
+	if len(top.Deps) != 1 {
+		t.Errorf("strided top tile deps = %d, want 1", len(top.Deps))
+	}
+}
+
+func TestConcatElision(t *testing.T) {
+	g := models.TinyBranch()
+	d := buildDAG(t, g, 1, nil)
+	// No atom may belong to a concat layer.
+	for _, a := range d.Atoms {
+		if g.Layer(a.Layer).Kind == graph.OpConcat {
+			t.Fatalf("atom %v belongs to a concat layer", a)
+		}
+	}
+	// The global pool (consumer of the concat) must depend on all three
+	// branch outputs.
+	var gpID int
+	for _, l := range g.Layers {
+		if l.Kind == graph.OpGlobalPool {
+			gpID = l.ID
+		}
+	}
+	gp := d.Atoms[d.AtomsOf(0, gpID)[0]]
+	branchLayers := make(map[int]bool)
+	for _, dep := range gp.Deps {
+		branchLayers[d.Atoms[dep].Layer] = true
+	}
+	if len(branchLayers) != 3 {
+		t.Errorf("global pool depends on %d branch layers, want 3", len(branchLayers))
+	}
+}
+
+func TestConcatChannelRouting(t *testing.T) {
+	// conv reading only the second producer's channels through a concat
+	// must depend only on that producer.
+	g := graph.New("ccr")
+	in := g.AddLayer("input", graph.OpInput, graph.Shape{Ho: 4, Wo: 4, Co: 4})
+	a := g.AddLayer("a", graph.OpConv, graph.ConvShape(4, 4, 4, 8, 1, 1, 0), in)
+	b := g.AddLayer("b", graph.OpConv, graph.ConvShape(4, 4, 4, 8, 1, 1, 0), in)
+	cat := g.AddLayer("cat", graph.OpConcat, graph.Shape{Hi: 4, Wi: 4, Ci: 16, Ho: 4, Wo: 4, Co: 16, Kh: 1, Kw: 1, Stride: 1}, a, b)
+	// Depthwise conv partitioned along channels: tiles map 1:1 to input
+	// channels, so the second-half tile touches only producer b.
+	dw := g.AddLayer("dw", graph.OpDepthwiseConv, graph.ConvShape(4, 4, 16, 16, 3, 1, 1), cat)
+	if err := g.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	spec := Spec{dw: {Hp: 4, Wp: 4, Cop: 8}}
+	d := buildDAG(t, g, 1, spec)
+	atoms := d.AtomsOf(0, dw)
+	if len(atoms) != 2 {
+		t.Fatalf("dw atoms = %d, want 2", len(atoms))
+	}
+	second := d.Atoms[atoms[1]]
+	if len(second.Deps) != 1 || d.Atoms[second.Deps[0]].Layer != b {
+		t.Errorf("second dw tile deps = %v, want only layer b", second.Deps)
+	}
+}
+
+func TestBatchReplication(t *testing.T) {
+	g := models.TinyResNet()
+	d1 := buildDAG(t, g, 1, nil)
+	d3 := buildDAG(t, g, 3, nil)
+	if d3.NumAtoms() != 3*d1.NumAtoms() {
+		t.Errorf("batch 3 atoms = %d, want %d", d3.NumAtoms(), 3*d1.NumAtoms())
+	}
+	// No edges may cross samples.
+	for _, a := range d3.Atoms {
+		for _, dep := range a.Deps {
+			if d3.Atoms[dep].Sample != a.Sample {
+				t.Fatalf("cross-sample edge %v -> %v", d3.Atoms[dep], a)
+			}
+		}
+	}
+}
+
+func TestDepsAreAcyclicAndOrdered(t *testing.T) {
+	for _, name := range []string{"tinyconv", "tinyresnet", "tinybranch", "pnascell"} {
+		g := models.MustBuild(name)
+		spec := make(Spec)
+		for _, lid := range g.ComputeLayers() {
+			l := g.Layer(lid)
+			spec[lid] = Partition{
+				Hp: max(1, l.Shape.Ho/2), Wp: max(1, l.Shape.Wo/2),
+				Cop: max(1, l.Shape.Co/2),
+			}
+		}
+		d := buildDAG(t, g, 2, spec)
+		for _, a := range d.Atoms {
+			for _, dep := range a.Deps {
+				if dep >= a.ID {
+					t.Fatalf("%s: dep %d not before atom %d", name, dep, a.ID)
+				}
+			}
+		}
+	}
+}
+
+func TestConsumersInverseOfDeps(t *testing.T) {
+	g := models.TinyBranch()
+	d := buildDAG(t, g, 1, nil)
+	for _, a := range d.Atoms {
+		for _, dep := range a.Deps {
+			found := false
+			for _, c := range d.Consumers(dep) {
+				if c == a.ID {
+					found = true
+				}
+			}
+			if !found {
+				t.Fatalf("consumers(%d) missing %d", dep, a.ID)
+			}
+		}
+	}
+}
+
+func TestBuildErrors(t *testing.T) {
+	g := models.TinyConv()
+	if _, err := Build(g, 0, nil); err == nil {
+		t.Error("batch 0 accepted")
+	}
+	if _, err := Build(g, 1, Spec{1: {Hp: 0, Wp: 1, Cop: 1}}); err == nil {
+		t.Error("zero partition accepted")
+	}
+}
+
+func TestValidateOnZooDAGs(t *testing.T) {
+	for _, name := range []string{"tinyconv", "tinyresnet", "tinybranch", "pnascell"} {
+		g := models.MustBuild(name)
+		spec := make(Spec)
+		for _, lid := range g.ComputeLayers() {
+			l := g.Layer(lid)
+			spec[lid] = Partition{Hp: max(1, l.Shape.Ho/3), Wp: max(1, l.Shape.Wo/2), Cop: max(1, l.Shape.Co/2)}
+		}
+		d := buildDAG(t, g, 2, spec)
+		if err := d.Validate(); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+}
+
+// Property: for any partition of a conv chain, every atom's region is
+// non-empty, within bounds, and regions of one layer tile it exactly.
+func TestPartitionCoverageProperty(t *testing.T) {
+	g := models.TinyConv()
+	conv2 := g.Layer(2) // 32x32x16
+	f := func(hpRaw, wpRaw, cpRaw uint8) bool {
+		spec := Spec{conv2.ID: {
+			Hp: int(hpRaw%32) + 1, Wp: int(wpRaw%32) + 1, Cop: int(cpRaw%16) + 1,
+		}}
+		d, err := Build(g, 1, spec)
+		if err != nil {
+			return false
+		}
+		var covered int64
+		for _, id := range d.AtomsOf(0, conv2.ID) {
+			r := d.Atoms[id].Region
+			if r.empty() || r.H1 > 32 || r.W1 > 32 || r.C1 > 16 {
+				return false
+			}
+			covered += r.Bytes()
+		}
+		return covered == conv2.OutputBytes()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,442 @@
+// Package buffer implements the paper's distributed on-chip buffering
+// strategy (Sec. IV-C, Algorithm 3). Each engine's global buffer holds
+// produced atom outputs (ofmaps) and weight slices. When storing a new
+// tensor overflows the buffer, the resident entry with the largest
+// *invalid occupation* — (earliest reuse Round − current Round) × tensor
+// size — is written back to external memory; entries with no remaining
+// consumer are released without write-back.
+//
+// Because DNN inference is static, the manager runs at compile time,
+// replaying the schedule Round by Round and emitting the exact DRAM/NoC/
+// SRAM traffic of each Round for the simulator and the energy model.
+package buffer
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/atomic-dataflow/atomicflow/internal/atom"
+	"github.com/atomic-dataflow/atomicflow/internal/graph"
+	"github.com/atomic-dataflow/atomicflow/internal/schedule"
+)
+
+// entryKind distinguishes buffered tensors.
+type entryKind int
+
+const (
+	kindOutput entryKind = iota // an atom's produced ofmap tile
+	kindWeight                  // a layer's weight slice for one co-range
+)
+
+// entry is one resident tensor in an engine's buffer.
+type entry struct {
+	kind  entryKind
+	atom  int  // for kindOutput
+	wkey  wkey // for kindWeight
+	bytes int64
+}
+
+// wkey identifies a weight slice: a layer and output-channel range
+// (weights are shared across samples and spatial tiles).
+type wkey struct {
+	layer  int
+	c0, c1 int
+}
+
+// tag packs the key into the non-zero multicast tag of a Flow. Weight
+// tags live in a namespace disjoint from ifmap (atom-ID) tags.
+func (k wkey) tag() int64 {
+	return 1<<60 | int64(k.layer)<<40 | int64(k.c0)<<20 | int64(k.c1)
+}
+
+// Flow is one inter-engine tensor movement within a Round. Flows sharing
+// a non-zero Tag and the same Src carry the same tensor (a weight slice
+// broadcast): the NoC delivers them as one multicast tree, serializing the
+// bytes once per tree link instead of once per destination.
+type Flow struct {
+	Src, Dst int
+	Bytes    int64
+	Tag      int64
+}
+
+// RoundIO is the data movement of one Round, per engine where relevant.
+type RoundIO struct {
+	DRAMReadBytes  []int64 // per engine: weights + off-chip input fetches
+	DRAMWriteBytes []int64 // per engine: evictions + unbufferable outputs
+	SRAMReadBytes  []int64
+	SRAMWriteBytes []int64
+	Flows          []Flow // on-chip transfers between engines
+
+	// Reuse accounting for Table II.
+	InputBytesTotal  int64 // all input tensor bytes consumed this Round
+	InputBytesOnChip int64 // the subset served from distributed buffers
+}
+
+// Manager replays a schedule against the distributed buffers.
+type Manager struct {
+	dag      *atom.DAG
+	sched    *schedule.Schedule
+	engines  int
+	capacity int64
+
+	resident  []int            // atom ID -> engine holding its output, -1 if off-chip/absent
+	written   []bool           // atom ID -> a copy exists in DRAM
+	buffers   []map[int]*entry // per engine: atomID -> output entry
+	wbuffers  []map[wkey]*entry
+	wholders  map[wkey]map[int]bool // weight slice -> engines caching it
+	used      []int64
+	round     int
+	consRound [][]int32        // atom ID -> sorted consumer round list
+	wRounds   map[wkey][]int32 // weight key -> sorted rounds where used
+
+	evictions int64
+}
+
+// New builds a Manager for the DAG and schedule on `engines` buffers of
+// capacityBytes each.
+func New(d *atom.DAG, s *schedule.Schedule, engines int, capacityBytes int64) (*Manager, error) {
+	if engines <= 0 || capacityBytes <= 0 {
+		return nil, fmt.Errorf("buffer: engines=%d capacity=%d", engines, capacityBytes)
+	}
+	m := &Manager{
+		dag:      d,
+		sched:    s,
+		engines:  engines,
+		capacity: capacityBytes,
+		resident: make([]int, d.NumAtoms()),
+		written:  make([]bool, d.NumAtoms()),
+		buffers:  make([]map[int]*entry, engines),
+		wbuffers: make([]map[wkey]*entry, engines),
+		wholders: make(map[wkey]map[int]bool),
+		used:     make([]int64, engines),
+		wRounds:  make(map[wkey][]int32),
+	}
+	for i := range m.resident {
+		m.resident[i] = -1
+	}
+	for e := 0; e < engines; e++ {
+		m.buffers[e] = make(map[int]*entry)
+		m.wbuffers[e] = make(map[wkey]*entry)
+	}
+	// Consumer-round lists (for Algorithm 3's t_next search) and weight
+	// usage rounds.
+	m.consRound = make([][]int32, d.NumAtoms())
+	for _, a := range d.Atoms {
+		r := s.AtomRound[a.ID]
+		if r < 0 {
+			continue // virtual input atom
+		}
+		for _, dep := range a.Deps {
+			m.consRound[dep] = append(m.consRound[dep], int32(r))
+		}
+		if wk, ok := weightKeyOf(d, a); ok {
+			m.wRounds[wk] = append(m.wRounds[wk], int32(r))
+		}
+	}
+	for i := range m.consRound {
+		sortInt32(m.consRound[i])
+	}
+	for k := range m.wRounds {
+		sortInt32(m.wRounds[k])
+	}
+	return m, nil
+}
+
+// weightKeyOf returns the weight slice an atom needs, if any.
+func weightKeyOf(d *atom.DAG, a *atom.Atom) (wkey, bool) {
+	switch a.Task.Kind {
+	case graph.OpConv, graph.OpFC, graph.OpDepthwiseConv:
+		return wkey{layer: a.Layer, c0: a.Region.C0, c1: a.Region.C1}, true
+	}
+	return wkey{}, false
+}
+
+// Locate reports the engine currently holding atom id's output (-1 when
+// off-chip). It implements mapping.Locator.
+func (m *Manager) Locate(id int) int { return m.resident[id] }
+
+// HasWeights reports whether engine e currently caches the weight slice
+// atom id requires. It implements mapping.WeightLocator.
+func (m *Manager) HasWeights(e, id int) bool {
+	wk, ok := weightKeyOf(m.dag, m.dag.Atoms[id])
+	if !ok {
+		return true // no weights needed: placement is free to ignore
+	}
+	_, res := m.wbuffers[e][wk]
+	return res
+}
+
+// Evictions returns the cumulative number of overflow write-backs.
+func (m *Manager) Evictions() int64 { return m.evictions }
+
+// ExecuteRound replays Round t with the given atom placement and returns
+// its IO. Rounds must be executed in order starting from 0.
+func (m *Manager) ExecuteRound(t int, placement map[int]int) (RoundIO, error) {
+	if t != m.round {
+		return RoundIO{}, fmt.Errorf("buffer: ExecuteRound(%d) out of order, want %d", t, m.round)
+	}
+	m.round++
+	io := RoundIO{
+		DRAMReadBytes:  make([]int64, m.engines),
+		DRAMWriteBytes: make([]int64, m.engines),
+		SRAMReadBytes:  make([]int64, m.engines),
+		SRAMWriteBytes: make([]int64, m.engines),
+	}
+	roundAtoms := m.sched.Rounds[t].Atoms
+	// Streamed (uncacheable) weight slices fetched from DRAM are still
+	// broadcast on-chip within the Round: the first engine reads HBM and
+	// forwards to later engines needing the same slice.
+	streamedBy := make(map[wkey]int)
+	// Phase 1: fetch inputs and weights for every atom in the Round.
+	for _, id := range roundAtoms {
+		e, ok := placement[id]
+		if !ok || e < 0 || e >= m.engines {
+			return io, fmt.Errorf("buffer: atom %d has no valid placement", id)
+		}
+		a := m.dag.Atoms[id]
+		for di, dep := range a.Deps {
+			bytes := a.DepBytes[di]
+			io.InputBytesTotal += bytes
+			src := m.resident[dep]
+			switch {
+			case src == e:
+				io.SRAMReadBytes[e] += bytes
+				io.InputBytesOnChip += bytes
+			case src >= 0:
+				// The producing atom's tile often feeds several engines
+				// in one Round (channel-partitioned consumers): tagging
+				// by producer lets the NoC multicast it.
+				io.Flows = append(io.Flows, Flow{Src: src, Dst: e, Bytes: bytes, Tag: int64(dep) + 1})
+				io.SRAMReadBytes[src] += bytes
+				io.SRAMWriteBytes[e] += bytes
+				io.InputBytesOnChip += bytes
+			default:
+				io.DRAMReadBytes[e] += bytes
+			}
+		}
+		if wk, ok := weightKeyOf(m.dag, a); ok {
+			bytes := a.Task.WeightBytes()
+			switch {
+			case m.wbuffers[e][wk] != nil:
+				// Local copy.
+				io.SRAMReadBytes[e] += bytes
+			case len(m.wholders[wk]) > 0:
+				// Another engine caches the slice: forward over the NoC
+				// instead of re-reading HBM (7 pJ/bit vs 0.61 pJ/bit/hop).
+				src := nearestHolder(m.wholders[wk], e)
+				io.Flows = append(io.Flows, Flow{Src: src, Dst: e, Bytes: bytes, Tag: wk.tag()})
+				io.SRAMReadBytes[src] += bytes
+				io.SRAMWriteBytes[e] += bytes
+				m.store(e, &entry{kind: kindWeight, wkey: wk, bytes: bytes}, t, &io)
+			case streamedBy[wk] != 0:
+				// Broadcast of a streamed slice within this Round.
+				src := streamedBy[wk] - 1
+				io.Flows = append(io.Flows, Flow{Src: src, Dst: e, Bytes: bytes, Tag: wk.tag()})
+				io.SRAMReadBytes[src] += bytes
+				io.SRAMWriteBytes[e] += bytes
+			default:
+				io.DRAMReadBytes[e] += bytes
+				streamedBy[wk] = e + 1
+				m.store(e, &entry{kind: kindWeight, wkey: wk, bytes: bytes}, t, &io)
+			}
+		}
+	}
+	// Phase 2: retire consumed inputs whose last consumer has now run.
+	for _, id := range roundAtoms {
+		for _, dep := range m.dag.Atoms[id].Deps {
+			if e := m.resident[dep]; e >= 0 && m.lastUse(dep) <= t {
+				m.release(e, dep)
+			}
+		}
+	}
+	// Phase 3: store produced outputs.
+	for _, id := range roundAtoms {
+		e := placement[id]
+		a := m.dag.Atoms[id]
+		out := a.OutputBytes()
+		io.SRAMWriteBytes[e] += out
+		if m.lastUse(id) < 0 {
+			// Final outputs (no consumers) stream to DRAM.
+			io.DRAMWriteBytes[e] += out
+			m.written[id] = true
+			continue
+		}
+		if out > m.capacity {
+			// Cannot ever fit: spill directly.
+			io.DRAMWriteBytes[e] += out
+			m.written[id] = true
+			continue
+		}
+		m.store(e, &entry{kind: kindOutput, atom: id, bytes: out}, t, &io)
+		m.resident[id] = e
+	}
+	return io, nil
+}
+
+// store inserts an entry into engine e's buffer, evicting per Algorithm 3
+// until it fits. Entries that could never pay for the evictions they force
+// are not cached: weight slices above half the buffer stream through
+// (their per-pass window is tiny), and outputs above the full capacity
+// spill directly — without this guard a single oversized tensor would
+// write back an entire buffer of useful ofmaps and still not fit.
+func (m *Manager) store(e int, ent *entry, t int, io *RoundIO) {
+	if (ent.kind == kindWeight && ent.bytes > m.capacity*3/4) ||
+		(ent.kind == kindOutput && ent.bytes > m.capacity) {
+		if ent.kind == kindOutput {
+			io.DRAMWriteBytes[e] += ent.bytes
+			m.written[ent.atom] = true
+		}
+		return
+	}
+	for m.used[e]+ent.bytes > m.capacity {
+		if !m.evictOne(e, t, io) {
+			// Nothing evictable (pathological tiny buffer): spill the
+			// new entry itself.
+			if ent.kind == kindOutput {
+				io.DRAMWriteBytes[e] += ent.bytes
+				m.written[ent.atom] = true
+			}
+			return
+		}
+	}
+	m.used[e] += ent.bytes
+	if ent.kind == kindOutput {
+		m.buffers[e][ent.atom] = ent
+	} else {
+		m.wbuffers[e][ent.wkey] = ent
+		h := m.wholders[ent.wkey]
+		if h == nil {
+			h = make(map[int]bool)
+			m.wholders[ent.wkey] = h
+		}
+		h[e] = true
+	}
+}
+
+// nearestHolder picks the holder with the smallest index distance to e —
+// a mesh-free proximity proxy (engine indices are row-major, so close
+// indices are close on the mesh).
+func nearestHolder(holders map[int]bool, e int) int {
+	best, bestD := -1, 1<<30
+	for h := range holders {
+		d := h - e
+		if d < 0 {
+			d = -d
+		}
+		if d < bestD || (d == bestD && h < best) {
+			best, bestD = h, d
+		}
+	}
+	return best
+}
+
+// evictOne applies Algorithm 3 to engine e: release any entry with no
+// future use; otherwise write back the entry with the largest invalid
+// occupation (t_next − t) × size. Returns false if the buffer is empty.
+func (m *Manager) evictOne(e, t int, io *RoundIO) bool {
+	var victim *entry
+	var victimOcc int64 = -1
+	// Pass 1: free entries with no future use (paper line 8-12). The
+	// current Round t still counts as a future use: eviction can run
+	// mid-Round, before every fetch of Round t has been served, so
+	// entries consumed this Round get occupation 0 (kept if possible)
+	// rather than being dropped as dead.
+	for id, ent := range m.buffers[e] {
+		tn := m.nextUse(id, t-1)
+		if tn < 0 {
+			m.release(e, id)
+			return true
+		}
+		occ := int64(tn-t) * ent.bytes
+		if occ > victimOcc {
+			victimOcc, victim = occ, ent
+		}
+	}
+	for wk, ent := range m.wbuffers[e] {
+		tn := m.nextWeightUse(wk, t-1)
+		if tn < 0 {
+			m.releaseWeight(e, wk)
+			return true
+		}
+		// Weights are immutable in DRAM: evicting one costs a refetch but
+		// no write-back, and the global reuse-round estimate is
+		// optimistic (the next user may be another engine entirely), so
+		// weight entries are biased toward eviction over dirty ofmaps.
+		occ := 2 * int64(tn-t) * ent.bytes
+		if occ > victimOcc {
+			victimOcc, victim = occ, ent
+		}
+	}
+	if victim == nil {
+		return false
+	}
+	// Pass 2: write back the worst occupier.
+	if victim.kind == kindOutput {
+		if !m.written[victim.atom] {
+			io.DRAMWriteBytes[e] += victim.bytes
+			m.written[victim.atom] = true
+		}
+		m.release(e, victim.atom)
+	} else {
+		// Weights are immutable in DRAM: dropping is free.
+		m.releaseWeight(e, victim.wkey)
+	}
+	m.evictions++
+	return true
+}
+
+func (m *Manager) release(e, id int) {
+	if ent, ok := m.buffers[e][id]; ok {
+		m.used[e] -= ent.bytes
+		delete(m.buffers[e], id)
+		m.resident[id] = -1
+	}
+}
+
+func (m *Manager) releaseWeight(e int, wk wkey) {
+	if ent, ok := m.wbuffers[e][wk]; ok {
+		m.used[e] -= ent.bytes
+		delete(m.wbuffers[e], wk)
+		if h := m.wholders[wk]; h != nil {
+			delete(h, e)
+		}
+	}
+}
+
+// nextUse returns the earliest Round strictly after t that consumes atom
+// id, or -1 if none remains.
+func (m *Manager) nextUse(id, t int) int {
+	lst := m.consRound[id]
+	i := sort.Search(len(lst), func(i int) bool { return int(lst[i]) > t })
+	if i == len(lst) {
+		return -1
+	}
+	return int(lst[i])
+}
+
+// lastUse returns the final consuming Round of atom id, or -1 if none.
+func (m *Manager) lastUse(id int) int {
+	lst := m.consRound[id]
+	if len(lst) == 0 {
+		return -1
+	}
+	return int(lst[len(lst)-1])
+}
+
+// nextWeightUse returns the earliest Round strictly after t using the
+// weight slice, or -1.
+func (m *Manager) nextWeightUse(wk wkey, t int) int {
+	lst := m.wRounds[wk]
+	i := sort.Search(len(lst), func(i int) bool { return int(lst[i]) > t })
+	if i == len(lst) {
+		return -1
+	}
+	return int(lst[i])
+}
+
+// Used returns the bytes currently resident in engine e's buffer.
+func (m *Manager) Used(e int) int64 { return m.used[e] }
+
+func sortInt32(s []int32) {
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+}

@@ -1,0 +1,122 @@
+// Package dram models the off-chip memory of the accelerator: a 4-layer
+// HBM stack with 4 GB capacity and 128 GB/s peak bandwidth (paper Sec.
+// V-A). It stands in for the Ramulator traces the paper feeds with access
+// streams: the simulator only needs request completion times under
+// bandwidth contention, which a channel-interleaved queue model provides.
+package dram
+
+import "fmt"
+
+// Config describes the HBM stack.
+type Config struct {
+	CapacityBytes  int64   // total capacity (4 GB)
+	PeakGBps       float64 // aggregate peak bandwidth (128 GB/s)
+	Channels       int     // independent channels (HBM: 8)
+	AccessLatency  int64   // fixed per-request latency in engine cycles
+	EngineClockMHz float64 // clock used to convert bandwidth to bytes/cycle
+}
+
+// Default returns the paper's HBM configuration at a 500 MHz engine clock.
+func Default() Config {
+	return Config{
+		CapacityBytes:  4 << 30,
+		PeakGBps:       128,
+		Channels:       8,
+		AccessLatency:  60, // ~120 ns row activate + CAS at 500 MHz
+		EngineClockMHz: 500,
+	}
+}
+
+// BytesPerCycle returns the aggregate bandwidth in bytes per engine cycle.
+func (c Config) BytesPerCycle() float64 {
+	return c.PeakGBps * 1e3 / c.EngineClockMHz // GB/s / MHz = bytes/cycle x 1e3
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if c.CapacityBytes <= 0 || c.PeakGBps <= 0 || c.Channels <= 0 || c.EngineClockMHz <= 0 {
+		return fmt.Errorf("dram: invalid config %+v", c)
+	}
+	return nil
+}
+
+// HBM is a stateful bandwidth/queue model. Requests are assigned to the
+// least-loaded channel (idealized address interleaving) and served at the
+// per-channel bandwidth; a request issued while channels are busy waits.
+type HBM struct {
+	cfg          Config
+	chanFree     []int64 // absolute cycle at which each channel is next free
+	bytesRead    int64
+	bytesWritten int64
+}
+
+// New returns an idle HBM model.
+func New(cfg Config) *HBM {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	return &HBM{cfg: cfg, chanFree: make([]int64, cfg.Channels)}
+}
+
+// Config returns the model's configuration.
+func (h *HBM) Config() Config { return h.cfg }
+
+// perChannelBytesPerCycle is the bandwidth of one channel.
+func (h *HBM) perChannelBytesPerCycle() float64 {
+	return h.cfg.BytesPerCycle() / float64(h.cfg.Channels)
+}
+
+// Read issues a read of n bytes at absolute cycle `now` and returns the
+// completion cycle.
+func (h *HBM) Read(now, n int64) int64 {
+	h.bytesRead += n
+	return h.serve(now, n)
+}
+
+// Write issues a write of n bytes at absolute cycle `now` and returns the
+// completion cycle.
+func (h *HBM) Write(now, n int64) int64 {
+	h.bytesWritten += n
+	return h.serve(now, n)
+}
+
+func (h *HBM) serve(now, n int64) int64 {
+	if n <= 0 {
+		return now
+	}
+	// Pick the earliest-free channel.
+	best := 0
+	for i, f := range h.chanFree {
+		if f < h.chanFree[best] {
+			best = i
+		}
+	}
+	start := now
+	if h.chanFree[best] > start {
+		start = h.chanFree[best]
+	}
+	xfer := int64(float64(n)/h.perChannelBytesPerCycle()) + 1
+	done := start + h.cfg.AccessLatency + xfer
+	h.chanFree[best] = done
+	return done
+}
+
+// StreamCycles returns the time to move n bytes at full aggregate
+// bandwidth — the lower bound used for coarse round-level accounting.
+func (h *HBM) StreamCycles(n int64) int64 {
+	if n <= 0 {
+		return 0
+	}
+	return h.cfg.AccessLatency + int64(float64(n)/h.cfg.BytesPerCycle()) + 1
+}
+
+// Traffic returns cumulative bytes read and written.
+func (h *HBM) Traffic() (read, written int64) { return h.bytesRead, h.bytesWritten }
+
+// Reset clears all queue state and counters.
+func (h *HBM) Reset() {
+	for i := range h.chanFree {
+		h.chanFree[i] = 0
+	}
+	h.bytesRead, h.bytesWritten = 0, 0
+}

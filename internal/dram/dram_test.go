@@ -1,0 +1,104 @@
+package dram
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestBytesPerCycle(t *testing.T) {
+	cfg := Default()
+	// 128 GB/s at 500 MHz = 256 B/cycle.
+	if got := cfg.BytesPerCycle(); got != 256 {
+		t.Errorf("BytesPerCycle = %v, want 256", got)
+	}
+}
+
+func TestSingleRequestLatency(t *testing.T) {
+	h := New(Default())
+	// One channel serves 32 B/cycle; 3200 bytes = 100 cycles + latency.
+	done := h.Read(0, 3200)
+	want := Default().AccessLatency + 100 + 1
+	if done != want {
+		t.Errorf("Read completion = %d, want %d", done, want)
+	}
+}
+
+func TestChannelParallelism(t *testing.T) {
+	h := New(Default())
+	// 8 equal requests at t=0 spread over 8 channels: all finish at the
+	// single-request time.
+	var worst int64
+	for i := 0; i < 8; i++ {
+		if d := h.Read(0, 3200); d > worst {
+			worst = d
+		}
+	}
+	single := New(Default()).Read(0, 3200)
+	if worst != single {
+		t.Errorf("8 parallel requests finish at %d, want %d", worst, single)
+	}
+	// A 9th request must queue behind one of them.
+	if d := h.Read(0, 3200); d <= single {
+		t.Errorf("9th request finished at %d, want > %d (queued)", d, single)
+	}
+}
+
+func TestTrafficAccounting(t *testing.T) {
+	h := New(Default())
+	h.Read(0, 1000)
+	h.Write(0, 500)
+	r, w := h.Traffic()
+	if r != 1000 || w != 500 {
+		t.Errorf("Traffic = %d/%d, want 1000/500", r, w)
+	}
+	h.Reset()
+	if r, w := h.Traffic(); r != 0 || w != 0 {
+		t.Errorf("Traffic after Reset = %d/%d", r, w)
+	}
+}
+
+func TestZeroByteRequestFree(t *testing.T) {
+	h := New(Default())
+	if d := h.Read(42, 0); d != 42 {
+		t.Errorf("zero-byte read completes at %d, want 42", d)
+	}
+}
+
+func TestStreamCycles(t *testing.T) {
+	h := New(Default())
+	if got := h.StreamCycles(0); got != 0 {
+		t.Errorf("StreamCycles(0) = %d", got)
+	}
+	// 256 KB at 256 B/cycle = 1024 cycles + latency + 1.
+	if got, want := h.StreamCycles(256<<10), Default().AccessLatency+1024+1; got != want {
+		t.Errorf("StreamCycles = %d, want %d", got, want)
+	}
+}
+
+// Property: completion times never precede issue time and are monotone in
+// request size.
+func TestServeMonotone(t *testing.T) {
+	f := func(nRaw uint16, nowRaw uint8) bool {
+		h := New(Default())
+		now := int64(nowRaw)
+		n := int64(nRaw) + 1
+		d1 := h.Read(now, n)
+		h2 := New(Default())
+		d2 := h2.Read(now, n*2)
+		return d1 > now && d2 >= d1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	if err := Default().Validate(); err != nil {
+		t.Errorf("default invalid: %v", err)
+	}
+	bad := Default()
+	bad.Channels = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("0 channels accepted")
+	}
+}

@@ -1,0 +1,51 @@
+package engine
+
+// FlexPartition implements the paper's Discussion (Sec. VI-A): arrays
+// that spatially map more than two loop parameters. Beyond KC-Partition's
+// input/output channels, a third array dimension PEz unrolls the output
+// width, so atom sizes become [c0, c1*PEz, c2*PEx, c3*PEy] exactly as the
+// paper sketches. Atomic dataflow adapts by only changing the coefficient
+// quantization in the SA search — which is what internal/anneal does when
+// it sees this dataflow.
+const FlexPartition Dataflow = 2
+
+// PEzOf returns the effective third array dimension (1 when unset).
+func (c Config) PEzOf() int {
+	if c.PEz <= 0 {
+		return 1
+	}
+	return c.PEz
+}
+
+// flexConvCycles prices a dense convolution on a 3D-spatial array:
+// Ci -> PEx rows, Cop -> PEy columns, Wp -> PEz planes; Hp and the kernel
+// iterate temporally.
+func flexConvCycles(cfg Config, t Task) int64 {
+	nCi := ceilDiv(t.Ci, cfg.PEx)
+	nCo := ceilDiv(t.Cop, cfg.PEy)
+	nW := ceilDiv(t.Wp, cfg.PEzOf())
+	perPass := int64(t.Hp)*int64(t.Kh)*int64(t.Kw)/int64(cfg.MACsPerPE) + cfg.fillDrain()
+	return int64(nCi) * int64(nCo) * int64(nW) * perPass
+}
+
+// flexDepthwiseCycles prices a depthwise convolution on the 3D array:
+// the kernel window takes the rows, channels the columns, width the
+// planes.
+func flexDepthwiseCycles(cfg Config, t Task) int64 {
+	nK := ceilDiv(t.Kh*t.Kw, cfg.PEx)
+	nCo := ceilDiv(t.Cop, cfg.PEy)
+	nW := ceilDiv(t.Wp, cfg.PEzOf())
+	perPass := int64(t.Hp)/int64(cfg.MACsPerPE) + cfg.fillDrain()
+	if perPass <= cfg.fillDrain() {
+		perPass = 1 + cfg.fillDrain()
+	}
+	return int64(nK) * int64(nCo) * int64(nW) * perPass
+}
+
+// FlexDefault returns a flexible-array engine with the same MAC count as
+// Default() (16x16 = 8x8x4), for like-for-like dataflow comparisons.
+func FlexDefault() Config {
+	c := Default()
+	c.PEx, c.PEy, c.PEz = 8, 8, 4
+	return c
+}

@@ -1,0 +1,66 @@
+package engine
+
+import (
+	"testing"
+
+	"github.com/atomic-dataflow/atomicflow/internal/graph"
+)
+
+func TestFlexConfigPEs(t *testing.T) {
+	c := FlexDefault()
+	if c.NumPEs() != 256 {
+		t.Errorf("FlexDefault NumPEs = %d, want 256 (8x8x4)", c.NumPEs())
+	}
+	if Default().NumPEs() != 256 {
+		t.Errorf("planar default changed: %d", Default().NumPEs())
+	}
+	if Default().PEzOf() != 1 {
+		t.Errorf("unset PEz should read as 1")
+	}
+}
+
+func TestFlexMatchedTile(t *testing.T) {
+	cfg := FlexDefault()
+	// Ci=8 rows, Cop=8 cols, Wp=4 planes, long Hp temporal: near-full.
+	tk := Task{Kind: graph.OpConv, Hp: 64, Wp: 4, Ci: 8, Cop: 8, Kh: 3, Kw: 3, Stride: 1}
+	c := Evaluate(cfg, FlexPartition, tk)
+	if c.Utilization < 0.9 {
+		t.Errorf("matched flex tile util = %.3f, want >= 0.9", c.Utilization)
+	}
+}
+
+func TestFlexHelpsShallowChannelLayers(t *testing.T) {
+	// The Discussion's motivation: shapes that starve a planar KC array
+	// — e.g. an ImageNet stem conv with Ci=3 filling 3 of 16 rows — keep
+	// a 3D-spatial array busier, because the width planes absorb the
+	// unroll the channel rows cannot.
+	planar := Default()   // 16x16
+	flex := FlexDefault() // 8x8x4, same MAC count
+	stem := Task{Kind: graph.OpConv, Hp: 112, Wp: 112, Ci: 3, Cop: 64, Kh: 7, Kw: 7, Stride: 2}
+	kc := Evaluate(planar, KCPartition, stem)
+	fx := Evaluate(flex, FlexPartition, stem)
+	if fx.MACs != kc.MACs {
+		t.Fatalf("MAC mismatch: %d vs %d", fx.MACs, kc.MACs)
+	}
+	if fx.Cycles >= kc.Cycles {
+		t.Errorf("flex %d cycles >= planar KC %d on a Ci=3 stem", fx.Cycles, kc.Cycles)
+	}
+	if fx.Utilization <= kc.Utilization {
+		t.Errorf("flex util %.3f <= planar %.3f", fx.Utilization, kc.Utilization)
+	}
+}
+
+func TestFlexDepthwise(t *testing.T) {
+	cfg := FlexDefault()
+	tk := Task{Kind: graph.OpDepthwiseConv, Hp: 28, Wp: 28, Ci: 1, Cop: 144, Kh: 3, Kw: 3, Stride: 1}
+	c := Evaluate(cfg, FlexPartition, tk)
+	if c.Cycles <= 0 || c.Utilization <= 0 || c.Utilization > 1 {
+		t.Errorf("flex depthwise degenerate: %+v", c)
+	}
+}
+
+func TestFlexString(t *testing.T) {
+	if FlexPartition.String() != "Flex-P" {
+		t.Errorf("String = %q", FlexPartition.String())
+	}
+}

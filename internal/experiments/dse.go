@@ -1,0 +1,110 @@
+package experiments
+
+import (
+	"math"
+
+	"github.com/atomic-dataflow/atomicflow/internal/models"
+	"github.com/atomic-dataflow/atomicflow/internal/noc"
+)
+
+// Fig12Point is one (workload, engine-count, batch) sample of the
+// architectural design-space exploration.
+type Fig12Point struct {
+	Workload string
+	Grid     int // engines per mesh side (grid x grid engines)
+	Engines  int
+	PEsPer   int // PE-array side per engine
+	BufferKB int
+	Batch    int
+	TimeMS   float64
+}
+
+// Fig12Grids lists the engine-grid sides swept by Fig. 12: the total PE
+// count (16384) and total buffer (8 MB) stay fixed while the chip is cut
+// into 1x1 ... 16x16 engines.
+var Fig12Grids = []int{1, 2, 4, 8, 16}
+
+// Fig12 reproduces the engine-count sweep. Paper: all curves are
+// U-shaped; the sweet spot falls around 4x4-8x8 engines, and doubling the
+// batch does not change the trend.
+func Fig12(cfg Config) ([]Fig12Point, error) {
+	base := cfg.hw()
+	var points []Fig12Point
+	cfg.printf("Fig 12 — scaling engine count at fixed 16384 PEs / 8 MB buffer\n")
+	totalPEside := base.Engine.PEx * 8 // 16x16 per engine on the 8x8 default = 128
+	totalBuffer := int64(base.Engine.BufferBytes) * 64
+	batches := []int{cfg.batch(1), cfg.batch(1) * 2}
+	for _, batch := range batches {
+		for _, name := range cfg.workloads(models.PaperWorkloads) {
+			g := mustModel(name)
+			for _, grid := range Fig12Grids {
+				hw := base
+				peSide := totalPEside / grid
+				hw.Mesh = noc.NewMesh(grid, grid, base.Mesh.LinkBytes)
+				hw.Engine.PEx, hw.Engine.PEy = peSide, peSide
+				hw.Engine.BufferBytes = int(totalBuffer / int64(grid*grid))
+				hw.BufferBytes = int64(hw.Engine.BufferBytes)
+				rep, err := runAD(g, batch, hw, cfg.Mode, cfg.saIters(), cfg.seed())
+				if err != nil {
+					return nil, err
+				}
+				p := Fig12Point{
+					Workload: name, Grid: grid, Engines: grid * grid,
+					PEsPer: peSide, BufferKB: hw.Engine.BufferBytes >> 10,
+					Batch: batch, TimeMS: rep.TimeMS,
+				}
+				points = append(points, p)
+				cfg.printf("  %-14s b%-2d %2dx%-2d engines (%3dx%-3d PEs, %4d KB): %9.3f ms\n",
+					name, batch, grid, grid, peSide, peSide, p.BufferKB, p.TimeMS)
+			}
+		}
+	}
+	return points, nil
+}
+
+// SweetSpot returns the grid side minimizing time for one workload/batch
+// within a Fig12 result set.
+func SweetSpot(points []Fig12Point, workload string, batch int) (grid int, timeMS float64) {
+	timeMS = math.MaxFloat64
+	for _, p := range points {
+		if p.Workload == workload && p.Batch == batch && p.TimeMS < timeMS {
+			grid, timeMS = p.Grid, p.TimeMS
+		}
+	}
+	return grid, timeMS
+}
+
+// Fig13Point is one (workload, buffer size) sample.
+type Fig13Point struct {
+	Workload string
+	BufferKB int
+	TimeMS   float64
+}
+
+// Fig13Buffers lists the per-engine buffer capacities swept by Fig. 13.
+var Fig13Buffers = []int{32 << 10, 64 << 10, 128 << 10, 256 << 10, 512 << 10}
+
+// Fig13 reproduces the buffer-size sweep on the 8x8-engine chip. Paper:
+// performance improves with buffer size but the gains flatten beyond
+// 128 KB per engine.
+func Fig13(cfg Config) ([]Fig13Point, error) {
+	base := cfg.hw()
+	var points []Fig13Point
+	cfg.printf("Fig 13 — scaling per-engine buffer size\n")
+	for _, name := range cfg.workloads(models.PaperWorkloads) {
+		g := mustModel(name)
+		for _, buf := range Fig13Buffers {
+			hw := base
+			hw.Engine.BufferBytes = buf
+			hw.BufferBytes = int64(buf)
+			rep, err := runAD(g, cfg.batch(1), hw, cfg.Mode, cfg.saIters(), cfg.seed())
+			if err != nil {
+				return nil, err
+			}
+			p := Fig13Point{Workload: name, BufferKB: buf >> 10, TimeMS: rep.TimeMS}
+			points = append(points, p)
+			cfg.printf("  %-14s %4d KB: %9.3f ms\n", name, p.BufferKB, p.TimeMS)
+		}
+	}
+	return points, nil
+}

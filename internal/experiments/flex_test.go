@@ -1,0 +1,19 @@
+package experiments
+
+import "testing"
+
+func TestFlexDataflowExperiment(t *testing.T) {
+	cfg := fast("efficientnet")
+	rows, err := FlexDataflow(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.TimeMS <= 0 || r.Util <= 0 {
+			t.Errorf("%s/%s degenerate", r.Workload, r.Dataflow)
+		}
+	}
+}

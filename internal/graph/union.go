@@ -1,0 +1,34 @@
+package graph
+
+import "fmt"
+
+// Union builds the disjoint union of several finalized workload graphs:
+// one combined DAG whose sub-graphs share no edges. Scheduling a union
+// co-locates multiple DNNs on one accelerator (multi-tenant serving in
+// the style of HDA/PREMA, which the paper cites as the multi-DNN use
+// case); the atomic-dataflow scheduler then interleaves their atoms
+// exactly as it interleaves batch samples. Layer names are prefixed with
+// their source graph's name to stay unique.
+func Union(name string, gs ...*Graph) (*Graph, error) {
+	if len(gs) == 0 {
+		return nil, fmt.Errorf("graph: union of nothing")
+	}
+	u := New(name)
+	for _, g := range gs {
+		if !g.finalized {
+			return nil, fmt.Errorf("graph: union input %q not finalized", g.Name)
+		}
+		offset := len(u.Layers)
+		for _, l := range g.Layers {
+			inputs := make([]int, len(l.Inputs))
+			for i, in := range l.Inputs {
+				inputs[i] = in + offset
+			}
+			u.AddLayer(g.Name+"/"+l.Name, l.Kind, l.Shape, inputs...)
+		}
+	}
+	if err := u.Finalize(); err != nil {
+		return nil, err
+	}
+	return u, nil
+}

@@ -1,0 +1,70 @@
+package graph
+
+import "testing"
+
+func small(t *testing.T, name string, co int) *Graph {
+	t.Helper()
+	g := New(name)
+	in := g.AddLayer("input", OpInput, Shape{Ho: 8, Wo: 8, Co: 3})
+	g.AddLayer("conv", OpConv, ConvShape(8, 8, 3, co, 3, 1, 1), in)
+	if err := g.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestUnionDisjoint(t *testing.T) {
+	a := small(t, "a", 8)
+	b := small(t, "b", 16)
+	u, err := Union("ab", a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u.NumLayers() != a.NumLayers()+b.NumLayers() {
+		t.Fatalf("layers = %d", u.NumLayers())
+	}
+	if u.TotalMACs() != a.TotalMACs()+b.TotalMACs() {
+		t.Errorf("MACs not additive")
+	}
+	// No cross-graph edges: every layer's inputs come from its own half.
+	half := a.NumLayers()
+	for _, l := range u.Layers {
+		for _, in := range l.Inputs {
+			if (l.ID < half) != (in < half) {
+				t.Fatalf("cross-tenant edge %d -> %d", in, l.ID)
+			}
+		}
+	}
+	// Depth is the max, not the sum (tenants are parallel).
+	if u.MaxDepth() != max(a.MaxDepth(), b.MaxDepth()) {
+		t.Errorf("union depth = %d", u.MaxDepth())
+	}
+}
+
+func TestUnionNamePrefixing(t *testing.T) {
+	a := small(t, "a", 8)
+	b := small(t, "b", 8)
+	u, err := Union("ab", a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u.Layer(0).Name != "a/input" || u.Layer(2).Name != "b/input" {
+		t.Errorf("names: %q, %q", u.Layer(0).Name, u.Layer(2).Name)
+	}
+	// Self-union works thanks to prefixes... but identical prefixes
+	// collide, which must error cleanly.
+	if _, err := Union("aa", a, a); err == nil {
+		t.Error("union with duplicate graph names accepted")
+	}
+}
+
+func TestUnionErrors(t *testing.T) {
+	if _, err := Union("empty"); err == nil {
+		t.Error("empty union accepted")
+	}
+	raw := New("raw")
+	raw.AddLayer("input", OpInput, Shape{Ho: 1, Wo: 1, Co: 1})
+	if _, err := Union("u", raw); err == nil {
+		t.Error("unfinalized input accepted")
+	}
+}

@@ -1,0 +1,273 @@
+// Package mapping implements the paper's atom-engine mapping stage
+// (Sec. IV-C): given the atoms of one Round, choose which physical engine
+// runs each atom so that inter-engine tensor transfers travel the fewest
+// NoC hops. As in the paper, atoms are laid onto the 2D mesh in zig-zag
+// order with same-layer atoms adjacent, and the free variable is the
+// permutation P of the involved layers; TransferCost(P) = Σ D(i,j) x Size
+// is minimized by exhaustive permutation search for small M and pairwise-
+// swap hill climbing above that.
+package mapping
+
+import (
+	"sort"
+
+	"github.com/atomic-dataflow/atomicflow/internal/atom"
+	"github.com/atomic-dataflow/atomicflow/internal/noc"
+)
+
+// maxExhaustive is the largest layer-group count for which all M!
+// permutations are tried (6! = 720 cost evaluations).
+const maxExhaustive = 6
+
+// Locator reports where an atom's output currently resides: the engine
+// index, or -1 if it is off-chip (in DRAM) or not yet produced.
+type Locator func(atomID int) int
+
+// WeightLocator reports whether an engine's buffer already caches the
+// weight slice an atom needs, so placement can exploit weight reuse.
+// A nil WeightLocator disables the weight-affinity refinement.
+type WeightLocator func(engineID, atomID int) bool
+
+// dramHopEquivalent converts a byte refetched from DRAM into the
+// placement cost of a byte moved one NoC hop (7 pJ/bit HBM vs 0.61
+// pJ/bit/hop NoC ≈ 11; rounded down to keep ifmap locality dominant).
+const dramHopEquivalent = 8
+
+// Mapper places Rounds onto a mesh.
+type Mapper struct {
+	mesh   *noc.Mesh
+	dag    *atom.DAG
+	zigzag []int // engine indices in zig-zag (snake) order
+}
+
+// New returns a Mapper for the DAG on the mesh.
+func New(mesh *noc.Mesh, dag *atom.DAG) *Mapper {
+	m := &Mapper{mesh: mesh, dag: dag}
+	m.zigzag = make([]int, 0, mesh.Engines())
+	for y := 0; y < mesh.H; y++ {
+		if y%2 == 0 {
+			for x := 0; x < mesh.W; x++ {
+				m.zigzag = append(m.zigzag, mesh.EngineAt(x, y))
+			}
+		} else {
+			for x := mesh.W - 1; x >= 0; x-- {
+				m.zigzag = append(m.zigzag, mesh.EngineAt(x, y))
+			}
+		}
+	}
+	return m
+}
+
+// Result is the placement of one Round.
+type Result struct {
+	EngineOf map[int]int // atom ID -> engine index
+	ByteHops int64       // Σ bytes x hops of on-chip input transfers
+	Perms    int         // permutations evaluated (diagnostics)
+}
+
+// group is the placement unit: the Round's atoms of one (sample, layer).
+type group struct {
+	atoms []int
+}
+
+// PlaceRound assigns each Round atom an engine. locate reports the engine
+// holding each dependency's output (-1 = off-chip, no NoC cost — the DRAM
+// cost does not depend on P).
+func (m *Mapper) PlaceRound(roundAtoms []int, locate Locator) Result {
+	return m.PlaceRoundWeighted(roundAtoms, locate, nil)
+}
+
+// PlaceRoundWeighted is PlaceRound with an optional weight-affinity
+// refinement: after the layer permutation fixes each group's slot range,
+// atoms are swapped within their group to land on engines that already
+// cache their weight slices, as long as the combined ifmap-hop +
+// weight-refetch cost improves.
+func (m *Mapper) PlaceRoundWeighted(roundAtoms []int, locate Locator, weights WeightLocator) Result {
+	groups := m.groupByLayer(roundAtoms)
+	order := make([]int, len(groups))
+	for i := range order {
+		order[i] = i
+	}
+	eval := func(perm []int) int64 { return m.transferCost(groups, perm, locate) }
+
+	best := append([]int(nil), order...)
+	bestCost := eval(best)
+	perms := 1
+	if len(groups) > 1 && len(groups) <= maxExhaustive {
+		permute(order, func(p []int) {
+			perms++
+			if c := eval(p); c < bestCost {
+				bestCost = c
+				copy(best, p)
+			}
+		})
+	} else if len(groups) > maxExhaustive {
+		// Pairwise-swap hill climbing, restarted until a full pass makes
+		// no improvement.
+		improved := true
+		for improved {
+			improved = false
+			for i := 0; i < len(best); i++ {
+				for j := i + 1; j < len(best); j++ {
+					best[i], best[j] = best[j], best[i]
+					perms++
+					if c := eval(best); c < bestCost {
+						bestCost = c
+						improved = true
+					} else {
+						best[i], best[j] = best[j], best[i]
+					}
+				}
+			}
+		}
+	}
+
+	res := Result{EngineOf: make(map[int]int, len(roundAtoms)), ByteHops: bestCost, Perms: perms}
+	slot := 0
+	for _, gi := range best {
+		for _, id := range groups[gi].atoms {
+			res.EngineOf[id] = m.zigzag[slot]
+			slot++
+		}
+	}
+	if weights != nil {
+		m.refineForWeights(groups, best, res.EngineOf, locate, weights)
+		res.ByteHops = m.placementCost(res.EngineOf, locate)
+	}
+	return res
+}
+
+// placementCost recomputes the ifmap byte-hop cost of a final placement.
+func (m *Mapper) placementCost(engineOf map[int]int, locate Locator) int64 {
+	var cost int64
+	for id, dst := range engineOf {
+		a := m.dag.Atoms[id]
+		for di, dep := range a.Deps {
+			src := locate(dep)
+			if src < 0 || src == dst {
+				continue
+			}
+			cost += a.DepBytes[di] * int64(m.mesh.Hops(src, dst))
+		}
+	}
+	return cost
+}
+
+// atomCostAt prices running atom id on engine e: ifmap fetch hops plus the
+// DRAM-equivalent cost of a weight slice the engine does not hold.
+func (m *Mapper) atomCostAt(id, e int, locate Locator, weights WeightLocator) int64 {
+	a := m.dag.Atoms[id]
+	var cost int64
+	for di, dep := range a.Deps {
+		src := locate(dep)
+		if src < 0 || src == e {
+			continue
+		}
+		cost += a.DepBytes[di] * int64(m.mesh.Hops(src, e))
+	}
+	if !weights(e, id) {
+		cost += a.Task.WeightBytes() * dramHopEquivalent
+	}
+	return cost
+}
+
+// refineForWeights hill-climbs within each group's slots, swapping atom
+// pairs whenever the combined cost drops.
+func (m *Mapper) refineForWeights(groups []group, perm []int, engineOf map[int]int, locate Locator, weights WeightLocator) {
+	for _, gi := range perm {
+		atoms := groups[gi].atoms
+		improved := true
+		for pass := 0; improved && pass < 4; pass++ {
+			improved = false
+			for i := 0; i < len(atoms); i++ {
+				for j := i + 1; j < len(atoms); j++ {
+					a, b := atoms[i], atoms[j]
+					ea, eb := engineOf[a], engineOf[b]
+					cur := m.atomCostAt(a, ea, locate, weights) + m.atomCostAt(b, eb, locate, weights)
+					swp := m.atomCostAt(a, eb, locate, weights) + m.atomCostAt(b, ea, locate, weights)
+					if swp < cur {
+						engineOf[a], engineOf[b] = eb, ea
+						improved = true
+					}
+				}
+			}
+		}
+	}
+}
+
+// groupByLayer buckets the Round's atoms into (sample, layer) groups,
+// preserving the scheduler's deterministic order.
+func (m *Mapper) groupByLayer(roundAtoms []int) []group {
+	idx := make(map[int64]int)
+	var groups []group
+	for _, id := range roundAtoms {
+		a := m.dag.Atoms[id]
+		k := int64(a.Sample)<<32 | int64(a.Layer)
+		gi, ok := idx[k]
+		if !ok {
+			gi = len(groups)
+			idx[k] = gi
+			groups = append(groups, group{})
+		}
+		groups[gi].atoms = append(groups[gi].atoms, id)
+	}
+	for i := range groups {
+		sort.Ints(groups[i].atoms)
+	}
+	return groups
+}
+
+// transferCost prices one layer permutation: place groups in zig-zag
+// sequence and sum hop-weighted bytes of every on-chip dependency fetch.
+func (m *Mapper) transferCost(groups []group, perm []int, locate Locator) int64 {
+	engineOf := make(map[int]int, len(groups)*2)
+	slot := 0
+	for _, gi := range perm {
+		for _, id := range groups[gi].atoms {
+			engineOf[id] = m.zigzag[slot]
+			slot++
+		}
+	}
+	var cost int64
+	for _, gi := range perm {
+		for _, id := range groups[gi].atoms {
+			dst := engineOf[id]
+			a := m.dag.Atoms[id]
+			for di, dep := range a.Deps {
+				src := locate(dep)
+				if src < 0 || src == dst {
+					continue
+				}
+				cost += a.DepBytes[di] * int64(m.mesh.Hops(src, dst))
+			}
+		}
+	}
+	return cost
+}
+
+// permute calls visit with every permutation of order (Heap's algorithm).
+// visit must not retain the slice.
+func permute(order []int, visit func([]int)) {
+	n := len(order)
+	c := make([]int, n)
+	visit(order)
+	i := 0
+	for i < n {
+		if c[i] < i {
+			if i%2 == 0 {
+				order[0], order[i] = order[i], order[0]
+			} else {
+				order[c[i]], order[i] = order[i], order[c[i]]
+			}
+			visit(order)
+			c[i]++
+			i = 0
+		} else {
+			c[i] = 0
+			i++
+		}
+	}
+}
+
+// ZigZag exposes the snake order for tests and the LS baseline.
+func (m *Mapper) ZigZag() []int { return append([]int(nil), m.zigzag...) }

@@ -1,0 +1,218 @@
+package mapping
+
+import (
+	"testing"
+
+	"github.com/atomic-dataflow/atomicflow/internal/atom"
+	"github.com/atomic-dataflow/atomicflow/internal/graph"
+	"github.com/atomic-dataflow/atomicflow/internal/models"
+	"github.com/atomic-dataflow/atomicflow/internal/noc"
+)
+
+func TestZigZagOrder(t *testing.T) {
+	m := New(noc.NewMesh(4, 2, 8), &atom.DAG{})
+	want := []int{0, 1, 2, 3, 7, 6, 5, 4}
+	got := m.ZigZag()
+	if len(got) != len(want) {
+		t.Fatalf("zigzag len = %d", len(got))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("zigzag = %v, want %v", got, want)
+		}
+	}
+	// Consecutive zig-zag slots are mesh-adjacent (1 hop).
+	mesh := noc.NewMesh(4, 2, 8)
+	for i := 1; i < len(got); i++ {
+		if mesh.Hops(got[i-1], got[i]) != 1 {
+			t.Errorf("zigzag slots %d,%d not adjacent", got[i-1], got[i])
+		}
+	}
+}
+
+// fig7DAG reproduces the paper's Fig. 7 situation: layer 3 atoms depend on
+// layer 1 and layer 2 atoms produced in the previous round.
+func fig7DAG(t *testing.T) (*atom.DAG, []int, []int) {
+	t.Helper()
+	g := graph.New("fig7")
+	in := g.AddLayer("input", graph.OpInput, graph.Shape{Ho: 12, Wo: 4, Co: 4})
+	l1 := g.AddLayer("l1", graph.OpConv, graph.ConvShape(12, 4, 4, 4, 1, 1, 0), in)
+	l2 := g.AddLayer("l2", graph.OpConv, graph.ConvShape(12, 4, 4, 4, 1, 1, 0), in)
+	g.AddLayer("l3", graph.OpEltwise, graph.EltwiseShape(12, 4, 4), l1, l2)
+	if err := g.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	spec := atom.Spec{
+		l1: {Hp: 4, Wp: 4, Cop: 4}, // 3 atoms
+		l2: {Hp: 4, Wp: 4, Cop: 4}, // 3 atoms
+		3:  {Hp: 4, Wp: 4, Cop: 4}, // l3: 3 atoms
+	}
+	d, err := atom.Build(g, 1, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var prev, cur []int
+	for _, a := range d.Atoms {
+		switch a.Layer {
+		case l1, l2:
+			prev = append(prev, a.ID)
+		case 3:
+			cur = append(cur, a.ID)
+		}
+	}
+	return d, prev, cur
+}
+
+func TestPlaceRoundReducesHops(t *testing.T) {
+	d, prev, cur := fig7DAG(t)
+	mesh := noc.NewMesh(3, 2, 8)
+	m := New(mesh, d)
+
+	// Round t: place layers 1 and 2 with the identity permutation.
+	r0 := m.PlaceRound(prev, func(int) int { return -1 })
+	locate := func(id int) int {
+		if e, ok := r0.EngineOf[id]; ok {
+			return e
+		}
+		return -1
+	}
+
+	// Round t+1: the mapper's choice must beat or match the worst
+	// permutation's cost.
+	r1 := m.PlaceRound(cur, locate)
+	// Compute the cost of the chosen placement independently.
+	var chosen int64
+	for _, id := range cur {
+		a := d.Atoms[id]
+		for di, dep := range a.Deps {
+			src := locate(dep)
+			if src < 0 || src == r1.EngineOf[id] {
+				continue
+			}
+			chosen += a.DepBytes[di] * int64(mesh.Hops(src, r1.EngineOf[id]))
+		}
+	}
+	if chosen != r1.ByteHops {
+		t.Errorf("reported ByteHops %d != recomputed %d", r1.ByteHops, chosen)
+	}
+	// Worst case: reverse placement of the 3 atoms.
+	var worst int64
+	rev := m.ZigZag()
+	for i, id := range cur {
+		e := rev[len(cur)-1-i]
+		a := d.Atoms[id]
+		for di, dep := range a.Deps {
+			src := locate(dep)
+			if src < 0 || src == e {
+				continue
+			}
+			worst += a.DepBytes[di] * int64(mesh.Hops(src, e))
+		}
+	}
+	if chosen > worst {
+		t.Errorf("optimized cost %d > naive reversed cost %d", chosen, worst)
+	}
+}
+
+func TestPlacementIsInjective(t *testing.T) {
+	g := models.MustBuild("tinybranch")
+	spec := make(atom.Spec)
+	for _, lid := range g.ComputeLayers() {
+		l := g.Layer(lid)
+		spec[lid] = atom.Partition{Hp: l.Shape.Ho, Wp: l.Shape.Wo, Cop: (l.Shape.Co + 1) / 2}
+	}
+	d, err := atom.Build(g, 1, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mesh := noc.NewMesh(4, 4, 8)
+	m := New(mesh, d)
+	// Take the first 8 non-input atoms as one synthetic round.
+	var round []int
+	for _, a := range d.Atoms {
+		if a.Task.Kind != graph.OpInput && len(round) < 8 {
+			round = append(round, a.ID)
+		}
+	}
+	res := m.PlaceRound(round, func(int) int { return -1 })
+	seen := make(map[int]bool)
+	for _, id := range round {
+		e, ok := res.EngineOf[id]
+		if !ok {
+			t.Fatalf("atom %d unplaced", id)
+		}
+		if seen[e] {
+			t.Fatalf("engine %d assigned twice", e)
+		}
+		seen[e] = true
+	}
+}
+
+func TestSameLayerAtomsAdjacent(t *testing.T) {
+	d, prev, _ := fig7DAG(t)
+	mesh := noc.NewMesh(3, 2, 8)
+	m := New(mesh, d)
+	res := m.PlaceRound(prev, func(int) int { return -1 })
+	// Atoms of one layer occupy consecutive zig-zag slots.
+	slotOf := make(map[int]int)
+	for i, e := range m.ZigZag() {
+		slotOf[e] = i
+	}
+	byLayer := map[int][]int{}
+	for _, id := range prev {
+		byLayer[d.Atoms[id].Layer] = append(byLayer[d.Atoms[id].Layer], slotOf[res.EngineOf[id]])
+	}
+	for layer, slots := range byLayer {
+		lo, hi := slots[0], slots[0]
+		for _, s := range slots {
+			if s < lo {
+				lo = s
+			}
+			if s > hi {
+				hi = s
+			}
+		}
+		if hi-lo != len(slots)-1 {
+			t.Errorf("layer %d slots %v not contiguous", layer, slots)
+		}
+	}
+}
+
+func TestHillClimbManyGroups(t *testing.T) {
+	// More than maxExhaustive layer groups triggers hill climbing; the
+	// result must still be a valid injective placement.
+	g := graph.New("many")
+	in := g.AddLayer("input", graph.OpInput, graph.Shape{Ho: 8, Wo: 8, Co: 4})
+	var layers []int
+	for i := 0; i < 9; i++ {
+		layers = append(layers, g.AddLayer(
+			"l"+string(rune('a'+i)), graph.OpConv,
+			graph.ConvShape(8, 8, 4, 4, 1, 1, 0), in))
+	}
+	if err := g.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	d, err := atom.Build(g, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mesh := noc.NewMesh(3, 3, 8)
+	m := New(mesh, d)
+	var round []int
+	for _, a := range d.Atoms {
+		if a.Task.Kind != graph.OpInput {
+			round = append(round, a.ID)
+		}
+	}
+	res := m.PlaceRound(round, func(int) int { return -1 })
+	if len(res.EngineOf) != 9 {
+		t.Fatalf("placed %d atoms, want 9", len(res.EngineOf))
+	}
+	seen := make(map[int]bool)
+	for _, e := range res.EngineOf {
+		if seen[e] {
+			t.Fatal("duplicate engine assignment")
+		}
+		seen[e] = true
+	}
+}

@@ -1,0 +1,35 @@
+package modelio
+
+import (
+	"testing"
+
+	"github.com/atomic-dataflow/atomicflow/internal/models"
+)
+
+// FuzzDecode exercises the exchange-format parser with arbitrary bytes:
+// it must never panic, and whatever it accepts must be a valid finalized
+// graph that re-encodes cleanly.
+func FuzzDecode(f *testing.F) {
+	for _, name := range []string{"tinyconv", "tinybranch"} {
+		data, err := Encode(models.MustBuild(name))
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(data)
+	}
+	f.Add([]byte(`{"name":"x","layers":[]}`))
+	f.Add([]byte(`{`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		g, err := Decode(data)
+		if err != nil {
+			return
+		}
+		// Accepted graphs must be internally consistent.
+		if g.NumLayers() == 0 {
+			t.Fatal("accepted empty graph")
+		}
+		if _, err := Encode(g); err != nil {
+			t.Fatalf("accepted graph failed to re-encode: %v", err)
+		}
+	})
+}

@@ -1,0 +1,159 @@
+// Package modelio serializes workload graphs to and from a JSON exchange
+// format — this repository's analogue of the paper's ONNX front end
+// (Sec. III: "DNN models imported from mainstream deep learning
+// frameworks are transformed into uniform ONNX format"). The format
+// carries exactly what the scheduler consumes: operator kinds, tensor
+// shapes, and data-dependency edges; anything else in a real ONNX file is
+// irrelevant to orchestration.
+//
+// The format is stable and human-editable:
+//
+//	{
+//	  "name": "mynet",
+//	  "layers": [
+//	    {"name": "input", "op": "Input", "shape": {"ho":224, "wo":224, "co":3}},
+//	    {"name": "conv1", "op": "Conv", "inputs": ["input"],
+//	     "shape": {"hi":224, "wi":224, "ci":3, "ho":112, "wo":112, "co":64,
+//	               "kh":7, "kw":7, "stride":2, "pad":3}}
+//	  ]
+//	}
+package modelio
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"github.com/atomic-dataflow/atomicflow/internal/graph"
+)
+
+// File is the on-disk model document.
+type File struct {
+	Name   string  `json:"name"`
+	Layers []Layer `json:"layers"`
+}
+
+// Layer is one serialized graph vertex.
+type Layer struct {
+	Name   string   `json:"name"`
+	Op     string   `json:"op"`
+	Inputs []string `json:"inputs,omitempty"`
+	Shape  Shape    `json:"shape"`
+}
+
+// Shape mirrors graph.Shape with lowercase JSON keys; zero fields are
+// omitted for readability.
+type Shape struct {
+	Hi     int `json:"hi,omitempty"`
+	Wi     int `json:"wi,omitempty"`
+	Ci     int `json:"ci,omitempty"`
+	Ho     int `json:"ho,omitempty"`
+	Wo     int `json:"wo,omitempty"`
+	Co     int `json:"co,omitempty"`
+	Kh     int `json:"kh,omitempty"`
+	Kw     int `json:"kw,omitempty"`
+	Stride int `json:"stride,omitempty"`
+	Pad    int `json:"pad,omitempty"`
+}
+
+var opNames = map[graph.OpKind]string{
+	graph.OpInput:         "Input",
+	graph.OpConv:          "Conv",
+	graph.OpDepthwiseConv: "DepthwiseConv",
+	graph.OpFC:            "FC",
+	graph.OpPool:          "Pool",
+	graph.OpEltwise:       "Eltwise",
+	graph.OpConcat:        "Concat",
+	graph.OpActivation:    "Activation",
+	graph.OpGlobalPool:    "GlobalPool",
+}
+
+var opKinds = func() map[string]graph.OpKind {
+	m := make(map[string]graph.OpKind, len(opNames))
+	for k, v := range opNames {
+		m[v] = k
+	}
+	return m
+}()
+
+// Encode renders a finalized graph as the JSON exchange document.
+func Encode(g *graph.Graph) ([]byte, error) {
+	f := File{Name: g.Name}
+	for _, l := range g.Layers {
+		op, ok := opNames[l.Kind]
+		if !ok {
+			return nil, fmt.Errorf("modelio: layer %q: unknown op kind %v", l.Name, l.Kind)
+		}
+		jl := Layer{Name: l.Name, Op: op, Shape: fromShape(l.Shape)}
+		for _, in := range l.Inputs {
+			jl.Inputs = append(jl.Inputs, g.Layer(in).Name)
+		}
+		f.Layers = append(f.Layers, jl)
+	}
+	return json.MarshalIndent(f, "", "  ")
+}
+
+// Decode parses an exchange document into a finalized graph.
+func Decode(data []byte) (*graph.Graph, error) {
+	var f File
+	if err := json.Unmarshal(data, &f); err != nil {
+		return nil, fmt.Errorf("modelio: %w", err)
+	}
+	if f.Name == "" {
+		return nil, fmt.Errorf("modelio: missing model name")
+	}
+	g := graph.New(f.Name)
+	ids := make(map[string]int, len(f.Layers))
+	for _, jl := range f.Layers {
+		kind, ok := opKinds[jl.Op]
+		if !ok {
+			return nil, fmt.Errorf("modelio: layer %q: unknown op %q", jl.Name, jl.Op)
+		}
+		inputs := make([]int, 0, len(jl.Inputs))
+		for _, name := range jl.Inputs {
+			id, ok := ids[name]
+			if !ok {
+				return nil, fmt.Errorf("modelio: layer %q: input %q not defined before use",
+					jl.Name, name)
+			}
+			inputs = append(inputs, id)
+		}
+		if _, dup := ids[jl.Name]; dup {
+			return nil, fmt.Errorf("modelio: duplicate layer %q", jl.Name)
+		}
+		ids[jl.Name] = g.AddLayer(jl.Name, kind, toShape(jl.Shape), inputs...)
+	}
+	if err := g.Finalize(); err != nil {
+		return nil, fmt.Errorf("modelio: %w", err)
+	}
+	return g, nil
+}
+
+// Write encodes g to w.
+func Write(w io.Writer, g *graph.Graph) error {
+	data, err := Encode(g)
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(append(data, '\n'))
+	return err
+}
+
+// Read decodes a graph from r.
+func Read(r io.Reader) (*graph.Graph, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("modelio: %w", err)
+	}
+	return Decode(data)
+}
+
+func fromShape(s graph.Shape) Shape {
+	return Shape{Hi: s.Hi, Wi: s.Wi, Ci: s.Ci, Ho: s.Ho, Wo: s.Wo, Co: s.Co,
+		Kh: s.Kh, Kw: s.Kw, Stride: s.Stride, Pad: s.Pad}
+}
+
+func toShape(s Shape) graph.Shape {
+	return graph.Shape{Hi: s.Hi, Wi: s.Wi, Ci: s.Ci, Ho: s.Ho, Wo: s.Wo, Co: s.Co,
+		Kh: s.Kh, Kw: s.Kw, Stride: s.Stride, Pad: s.Pad}
+}

@@ -1,0 +1,110 @@
+package modelio
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"github.com/atomic-dataflow/atomicflow/internal/models"
+)
+
+func TestRoundTripAllModels(t *testing.T) {
+	for _, name := range models.Names() {
+		g := models.MustBuild(name)
+		data, err := Encode(g)
+		if err != nil {
+			t.Fatalf("%s: Encode: %v", name, err)
+		}
+		g2, err := Decode(data)
+		if err != nil {
+			t.Fatalf("%s: Decode: %v", name, err)
+		}
+		if g2.NumLayers() != g.NumLayers() {
+			t.Errorf("%s: layers %d != %d", name, g2.NumLayers(), g.NumLayers())
+		}
+		if g2.TotalMACs() != g.TotalMACs() {
+			t.Errorf("%s: MACs %d != %d", name, g2.TotalMACs(), g.TotalMACs())
+		}
+		if g2.TotalParams() != g.TotalParams() {
+			t.Errorf("%s: params %d != %d", name, g2.TotalParams(), g.TotalParams())
+		}
+		if g2.MaxDepth() != g.MaxDepth() {
+			t.Errorf("%s: depth %d != %d", name, g2.MaxDepth(), g.MaxDepth())
+		}
+		// Edge structure preserved: same consumer counts per layer name.
+		for _, l := range g.Layers {
+			l2 := g2.Layer(l.ID)
+			if l2.Name != l.Name || l2.Kind != l.Kind || len(l2.Inputs) != len(l.Inputs) {
+				t.Fatalf("%s: layer %d mismatch", name, l.ID)
+			}
+		}
+	}
+}
+
+func TestWriteRead(t *testing.T) {
+	g := models.MustBuild("tinybranch")
+	var buf bytes.Buffer
+	if err := Write(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.Name != g.Name {
+		t.Errorf("name %q != %q", g2.Name, g.Name)
+	}
+}
+
+func TestDecodeHandEdited(t *testing.T) {
+	doc := `{
+	  "name": "mini",
+	  "layers": [
+	    {"name": "input", "op": "Input", "shape": {"ho": 8, "wo": 8, "co": 3}},
+	    {"name": "conv1", "op": "Conv", "inputs": ["input"],
+	     "shape": {"hi": 8, "wi": 8, "ci": 3, "ho": 8, "wo": 8, "co": 16,
+	               "kh": 3, "kw": 3, "stride": 1, "pad": 1}},
+	    {"name": "gap", "op": "GlobalPool", "inputs": ["conv1"],
+	     "shape": {"hi": 8, "wi": 8, "ci": 16, "ho": 1, "wo": 1, "co": 16, "kh": 8, "kw": 8, "stride": 1}},
+	    {"name": "fc", "op": "FC", "inputs": ["gap"],
+	     "shape": {"hi": 1, "wi": 1, "ci": 16, "ho": 1, "wo": 1, "co": 10, "kh": 1, "kw": 1, "stride": 1}}
+	  ]
+	}`
+	g, err := Decode([]byte(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumLayers() != 4 || g.MaxDepth() != 3 {
+		t.Errorf("layers=%d depth=%d", g.NumLayers(), g.MaxDepth())
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	cases := map[string]string{
+		"bad json":       `{`,
+		"missing name":   `{"layers":[]}`,
+		"unknown op":     `{"name":"x","layers":[{"name":"a","op":"Wat","shape":{"ho":1,"wo":1,"co":1}}]}`,
+		"forward ref":    `{"name":"x","layers":[{"name":"a","op":"Conv","inputs":["b"],"shape":{"hi":1,"wi":1,"ci":1,"ho":1,"wo":1,"co":1,"kh":1,"kw":1,"stride":1}}]}`,
+		"duplicate name": `{"name":"x","layers":[{"name":"a","op":"Input","shape":{"ho":1,"wo":1,"co":1}},{"name":"a","op":"Input","shape":{"ho":1,"wo":1,"co":1}}]}`,
+		"invalid graph":  `{"name":"x","layers":[{"name":"a","op":"Conv","shape":{"ho":1,"wo":1,"co":1}}]}`,
+	}
+	for label, doc := range cases {
+		if _, err := Decode([]byte(doc)); err == nil {
+			t.Errorf("%s: accepted", label)
+		}
+	}
+}
+
+func TestEncodeIsHumanReadable(t *testing.T) {
+	g := models.MustBuild("tinyconv")
+	data, err := Encode(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := string(data)
+	for _, want := range []string{`"name": "tinyconv"`, `"op": "Conv"`, `"inputs"`} {
+		if !strings.Contains(s, want) {
+			t.Errorf("document missing %q", want)
+		}
+	}
+}

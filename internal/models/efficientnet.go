@@ -1,0 +1,54 @@
+package models
+
+import "github.com/atomic-dataflow/atomicflow/internal/graph"
+
+// EfficientNet builds EfficientNet-B0: seven MBConv stages (inverted
+// residual bottlenecks with depthwise convolutions) between a conv stem and
+// a 1x1 head. Squeeze-and-excitation blocks are omitted (their global-pool
+// + tiny-FC side branches contribute <1% of MACs and no PE-array-relevant
+// structure); the paper lists EfficientNet at 2M params, consistent with
+// the SE-less backbone.
+func EfficientNet() *graph.Graph {
+	b := newBuilder("efficientnet")
+	x := b.input(224, 224, 3)
+	x = b.conv(x, 32, 3, 2, 1)
+
+	// mbconv appends one inverted-residual block.
+	mbconv := func(in, co, k, stride, expand int) int {
+		ci := b.out(in).Co
+		y := in
+		if expand != 1 {
+			y = b.conv(y, ci*expand, 1, 1, 0)
+		}
+		y = b.dwconv(y, k, stride, k/2)
+		y = b.conv(y, co, 1, 1, 0)
+		if stride == 1 && ci == co {
+			y = b.add(in, y)
+		}
+		return y
+	}
+
+	type stage struct{ co, depth, k, stride, expand int }
+	stages := []stage{
+		{16, 1, 3, 1, 1},
+		{24, 2, 3, 2, 6},
+		{40, 2, 5, 2, 6},
+		{80, 3, 3, 2, 6},
+		{112, 3, 5, 1, 6},
+		{192, 4, 5, 2, 6},
+		{320, 1, 3, 1, 6},
+	}
+	for _, s := range stages {
+		for i := 0; i < s.depth; i++ {
+			stride := 1
+			if i == 0 {
+				stride = s.stride
+			}
+			x = mbconv(x, s.co, s.k, stride, s.expand)
+		}
+	}
+	x = b.conv(x, 1280, 1, 1, 0)
+	x = b.globalPool(x)
+	b.fc(x, 1000)
+	return b.finish()
+}

@@ -1,0 +1,96 @@
+package models
+
+import "github.com/atomic-dataflow/atomicflow/internal/graph"
+
+// InceptionV3 builds Inception-v3 (branching-cell structure, ~24M params).
+// All five module families (A, B reduction, C, D reduction, E) are present
+// with the standard filter counts, giving the scheduler the same-depth
+// branch parallelism the paper exploits (Fig. 6 parallelism type 2).
+func InceptionV3() *graph.Graph {
+	b := newBuilder("inceptionv3")
+	x := b.input(299, 299, 3)
+
+	// Stem.
+	x = b.conv(x, 32, 3, 2, 0)
+	x = b.conv(x, 32, 3, 1, 0)
+	x = b.conv(x, 64, 3, 1, 1)
+	x = b.pool(x, 3, 2, 0)
+	x = b.conv(x, 80, 1, 1, 0)
+	x = b.conv(x, 192, 3, 1, 0)
+	x = b.pool(x, 3, 2, 0) // 35x35x192
+
+	// Module A: 1x1 / 5x5 / double-3x3 / pool-proj branches.
+	moduleA := func(x, poolProj int) int {
+		b1 := b.conv(x, 64, 1, 1, 0)
+		b2 := b.conv(b.conv(x, 48, 1, 1, 0), 64, 5, 1, 2)
+		b3 := b.conv(x, 64, 1, 1, 0)
+		b3 = b.conv(b3, 96, 3, 1, 1)
+		b3 = b.conv(b3, 96, 3, 1, 1)
+		b4 := b.conv(b.pool(x, 3, 1, 1), poolProj, 1, 1, 0)
+		return b.concat(b1, b2, b3, b4)
+	}
+	x = moduleA(x, 32) // 35x35x256
+	x = moduleA(x, 64) // 35x35x288
+	x = moduleA(x, 64) // 35x35x288
+
+	// Reduction B: stride-2 3x3 / double-3x3 / pool.
+	{
+		b1 := b.conv(x, 384, 3, 2, 0)
+		b2 := b.conv(x, 64, 1, 1, 0)
+		b2 = b.conv(b2, 96, 3, 1, 1)
+		b2 = b.conv(b2, 96, 3, 2, 0)
+		b3 := b.pool(x, 3, 2, 0)
+		x = b.concat(b1, b2, b3) // 17x17x768
+	}
+
+	// Module C: factorized 7x7 branches.
+	moduleC := func(x, c7 int) int {
+		b1 := b.conv(x, 192, 1, 1, 0)
+		b2 := b.conv(x, c7, 1, 1, 0)
+		b2 = b.convRect(b2, c7, 1, 7, 1, 0, 3)
+		b2 = b.convRect(b2, 192, 7, 1, 1, 3, 0)
+		b3 := b.conv(x, c7, 1, 1, 0)
+		b3 = b.convRect(b3, c7, 7, 1, 1, 3, 0)
+		b3 = b.convRect(b3, c7, 1, 7, 1, 0, 3)
+		b3 = b.convRect(b3, c7, 7, 1, 1, 3, 0)
+		b3 = b.convRect(b3, 192, 1, 7, 1, 0, 3)
+		b4 := b.conv(b.pool(x, 3, 1, 1), 192, 1, 1, 0)
+		return b.concat(b1, b2, b3, b4)
+	}
+	x = moduleC(x, 128)
+	x = moduleC(x, 160)
+	x = moduleC(x, 160)
+	x = moduleC(x, 192)
+
+	// Reduction D.
+	{
+		b1 := b.conv(x, 192, 1, 1, 0)
+		b1 = b.conv(b1, 320, 3, 2, 0)
+		b2 := b.conv(x, 192, 1, 1, 0)
+		b2 = b.convRect(b2, 192, 1, 7, 1, 0, 3)
+		b2 = b.convRect(b2, 192, 7, 1, 1, 3, 0)
+		b2 = b.conv(b2, 192, 3, 2, 0)
+		b3 := b.pool(x, 3, 2, 0)
+		x = b.concat(b1, b2, b3) // 8x8x1280
+	}
+
+	// Module E: expanded-filter-bank branches.
+	moduleE := func(x int) int {
+		b1 := b.conv(x, 320, 1, 1, 0)
+		b2 := b.conv(x, 384, 1, 1, 0)
+		b2a := b.convRect(b2, 384, 1, 3, 1, 0, 1)
+		b2b := b.convRect(b2, 384, 3, 1, 1, 1, 0)
+		b3 := b.conv(x, 448, 1, 1, 0)
+		b3 = b.conv(b3, 384, 3, 1, 1)
+		b3a := b.convRect(b3, 384, 1, 3, 1, 0, 1)
+		b3b := b.convRect(b3, 384, 3, 1, 1, 1, 0)
+		b4 := b.conv(b.pool(x, 3, 1, 1), 192, 1, 1, 0)
+		return b.concat(b1, b2a, b2b, b3a, b3b, b4)
+	}
+	x = moduleE(x)
+	x = moduleE(x) // 8x8x2048
+
+	x = b.globalPool(x)
+	b.fc(x, 1000)
+	return b.finish()
+}

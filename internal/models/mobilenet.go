@@ -1,0 +1,75 @@
+package models
+
+import "github.com/atomic-dataflow/atomicflow/internal/graph"
+
+// MobileNetV2 builds MobileNetV2 (inverted residuals with linear
+// bottlenecks, ~3.4M params). It is not in the paper's Table I but
+// rounds out the zoo's depthwise-workload coverage next to EfficientNet,
+// and is a common target for orchestration studies.
+func MobileNetV2() *graph.Graph {
+	b := newBuilder("mobilenetv2")
+	x := b.input(224, 224, 3)
+	x = b.conv(x, 32, 3, 2, 1)
+
+	block := func(in, co, stride, expand int) int {
+		ci := b.out(in).Co
+		y := in
+		if expand != 1 {
+			y = b.conv(y, ci*expand, 1, 1, 0)
+		}
+		y = b.dwconv(y, 3, stride, 1)
+		y = b.conv(y, co, 1, 1, 0)
+		if stride == 1 && ci == co {
+			y = b.add(in, y)
+		}
+		return y
+	}
+
+	type stage struct{ expand, co, depth, stride int }
+	stages := []stage{
+		{1, 16, 1, 1},
+		{6, 24, 2, 2},
+		{6, 32, 3, 2},
+		{6, 64, 4, 2},
+		{6, 96, 3, 1},
+		{6, 160, 3, 2},
+		{6, 320, 1, 1},
+	}
+	for _, s := range stages {
+		for i := 0; i < s.depth; i++ {
+			stride := 1
+			if i == 0 {
+				stride = s.stride
+			}
+			x = block(x, s.co, stride, s.expand)
+		}
+	}
+	x = b.conv(x, 1280, 1, 1, 0)
+	x = b.globalPool(x)
+	b.fc(x, 1000)
+	return b.finish()
+}
+
+// VGG16 builds VGG-16 — the 13-conv sibling of VGG-19, included because
+// much of the resource-partitioning literature (CNN-Partition, TGPA)
+// evaluates on it.
+func VGG16() *graph.Graph {
+	b := newBuilder("vgg16")
+	x := b.input(224, 224, 3)
+	stage := func(co, n int) {
+		for i := 0; i < n; i++ {
+			x = b.conv(x, co, 3, 1, 1)
+		}
+		x = b.pool(x, 2, 2, 0)
+	}
+	stage(64, 2)
+	stage(128, 2)
+	stage(256, 3)
+	stage(512, 3)
+	stage(512, 3)
+	x = b.fc(x, 4096)
+	b.g.Layer(x).Shape.Ci = 7 * 7 * 512 // flattened classifier input
+	x = b.fc(x, 4096)
+	b.fc(x, 1000)
+	return b.finish()
+}

@@ -1,0 +1,136 @@
+package models
+
+import "github.com/atomic-dataflow/atomicflow/internal/graph"
+
+// NAS-generated networks. NASNet-A and PNASNet-5 are defined by searched
+// cells wired in irregular topology; each cell combines two hidden states
+// (the previous two cell outputs) through five two-input blocks whose
+// results are concatenated. We reproduce the published cell structures with
+// separable convolutions (depthwise + pointwise pairs) and pooling ops,
+// which gives the scheduler exactly the irregular multi-branch atom DAGs
+// the paper targets (PNASNet cells appear in the paper's Fig. 6).
+
+// fit projects src to F channels (1x1 conv) and, when reduce is set,
+// halves its spatial dims so both cell inputs agree in shape.
+func fit(b *builder, src, f int, reduce bool) int {
+	stride := 1
+	if reduce {
+		stride = 2
+	}
+	if b.out(src).Co == f && stride == 1 {
+		return src
+	}
+	return b.conv(src, f, 1, stride, 0)
+}
+
+// nasnetNormalCell is the NASNet-A normal cell: five blocks over the two
+// hidden states h (current) and hp (previous).
+func nasnetNormalCell(b *builder, hp, h, f int) int {
+	hp = fit(b, hp, f, b.out(hp).Ho != b.out(h).Ho)
+	h = fit(b, h, f, false)
+	b1 := b.add(b.sepconv(h, f, 3, 1, 1), h)
+	b2 := b.add(b.sepconv(hp, f, 3, 1, 1), b.sepconv(h, f, 5, 1, 2))
+	b3 := b.add(b.pool(h, 3, 1, 1), hp)
+	b4 := b.add(b.pool(hp, 3, 1, 1), b.pool(hp, 3, 1, 1))
+	b5 := b.add(b.sepconv(hp, f, 5, 1, 2), b.sepconv(hp, f, 3, 1, 1))
+	return b.concat(b1, b2, b3, b4, b5)
+}
+
+// nasnetReductionCell halves spatial dims and is wired per NASNet-A.
+func nasnetReductionCell(b *builder, hp, h, f int) int {
+	hp = fit(b, hp, f, b.out(hp).Ho != b.out(h).Ho)
+	h = fit(b, h, f, false)
+	b1 := b.add(b.sepconv(h, f, 5, 2, 2), b.sepconv(hp, f, 7, 2, 3))
+	b2 := b.add(b.pool(h, 3, 2, 1), b.sepconv(hp, f, 7, 2, 3))
+	b3 := b.add(b.pool(h, 3, 2, 1), b.sepconv(hp, f, 5, 2, 2))
+	b4 := b.add(b.pool(b1, 3, 1, 1), b2)
+	b5 := b.add(b.sepconv(b1, f, 3, 1, 1), b3)
+	return b.concat(b2, b4, b5)
+}
+
+// NASNet builds NASNet-A Large (6 @ 4032): stem, two early reduction
+// cells, then three stacks of six normal cells separated by reduction
+// cells, with the filter count doubling at each reduction (168/336/672).
+func NASNet() *graph.Graph {
+	b := newBuilder("nasnet")
+	x := b.input(331, 331, 3)
+	stem := b.conv(x, 96, 3, 2, 0)
+	f := 168
+	r0 := nasnetReductionCell(b, stem, stem, f/4)
+	r1 := nasnetReductionCell(b, stem, r0, f/2)
+	hp, h := r0, r1
+	for stack := 0; stack < 3; stack++ {
+		for i := 0; i < 6; i++ {
+			hp, h = h, nasnetNormalCell(b, hp, h, f)
+		}
+		if stack < 2 {
+			f *= 2
+			hp, h = h, nasnetReductionCell(b, hp, h, f)
+		}
+	}
+	g := b.globalPool(h)
+	b.fc(g, 1000)
+	return b.finish()
+}
+
+// pnasCell is the PNASNet-5 cell: five blocks discovered by progressive
+// search, combining separable convs of mixed kernel sizes with max pooling.
+// The same cell serves normal (stride 1) and reduction (stride 2) duty.
+func pnasCell(b *builder, hp, h, f, stride int) int {
+	hp = fit(b, hp, f, b.out(hp).Ho != b.out(h).Ho)
+	h = fit(b, h, f, false)
+	pooled := func(src int) int {
+		if stride == 1 {
+			return b.pool(src, 3, 1, 1)
+		}
+		return b.pool(src, 3, 2, 1)
+	}
+	strided := func(src, k int) int { return b.sepconv(src, f, k, stride, k/2) }
+	b1 := b.add(strided(hp, 5), pooled(hp))
+	b2 := b.add(strided(h, 7), pooled(h))
+	b3 := b.add(strided(h, 5), strided(h, 3))
+	b4 := b.add(b.sepconv(b3, f, 3, 1, 1), pooled(hp))
+	id5 := h
+	if stride != 1 {
+		id5 = b.conv(h, f, 1, stride, 0)
+	}
+	b5 := b.add(strided(hp, 3), id5)
+	return b.concat(b1, b2, b3, b4, b5)
+}
+
+// PNASNet builds PNASNet-5 Large: three stacks of four normal cells with
+// reduction cells between, F=216 doubling per reduction.
+func PNASNet() *graph.Graph {
+	b := newBuilder("pnasnet")
+	x := b.input(331, 331, 3)
+	stem := b.conv(x, 96, 3, 2, 0)
+	f := 216
+	r0 := pnasCell(b, stem, stem, f/4, 2)
+	r1 := pnasCell(b, stem, r0, f/2, 2)
+	hp, h := r0, r1
+	for stack := 0; stack < 3; stack++ {
+		for i := 0; i < 4; i++ {
+			hp, h = h, pnasCell(b, hp, h, f, 1)
+		}
+		if stack < 2 {
+			f *= 2
+			hp, h = h, pnasCell(b, hp, h, f, 2)
+		}
+	}
+	g := b.globalPool(h)
+	b.fc(g, 1000)
+	return b.finish()
+}
+
+// PNASCell builds a single PNASNet cell on small tensors — the example
+// topology used in the paper's Fig. 6 parallelism analysis.
+func PNASCell() *graph.Graph {
+	b := newBuilder("pnascell")
+	x := b.input(28, 28, 32)
+	prev := b.conv(x, 32, 1, 1, 0)
+	cur := b.conv(x, 32, 3, 1, 1)
+	out := pnasCell(b, prev, cur, 32, 1)
+	g := b.globalPool(out)
+	b.fc(g, 10)
+	return b.finish()
+}

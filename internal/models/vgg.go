@@ -1,0 +1,32 @@
+package models
+
+import "github.com/atomic-dataflow/atomicflow/internal/graph"
+
+// VGG19 builds VGG-19 (layer-cascaded structure, 137M params with the
+// classifier). It is the paper's pure-cascade workload: no explicit layer
+// parallelism, so all of AD's gain must come from layer fusion and
+// utilization-aware atom sizes (paper Sec. V-B).
+func VGG19() *graph.Graph {
+	b := newBuilder("vgg19")
+	x := b.input(224, 224, 3)
+	stage := func(co, n int) {
+		for i := 0; i < n; i++ {
+			x = b.conv(x, co, 3, 1, 1)
+		}
+		x = b.pool(x, 2, 2, 0)
+	}
+	stage(64, 2)
+	stage(128, 2)
+	stage(256, 4)
+	stage(512, 4)
+	stage(512, 4)
+	// Classifier: 7x7x512 flattened to 25088, then 4096-4096-1000.
+	x = b.fc(x, 4096) // reads the flattened 25088-dim vector
+	// The first FC consumes the 7x7x512 tensor; patch Ci to the flattened
+	// size so the parameter count matches the real network.
+	fcLayer := b.g.Layer(x)
+	fcLayer.Shape.Ci = 7 * 7 * 512
+	x = b.fc(x, 4096)
+	b.fc(x, 1000)
+	return b.finish()
+}

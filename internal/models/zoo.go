@@ -1,0 +1,227 @@
+// Package models is the workload front end of the framework: it constructs
+// the eight DNN inference graphs evaluated in the paper (Table I) plus small
+// synthetic networks used in tests and examples.
+//
+// The paper imports models through ONNX; this repository has no network
+// access and no external files, so the zoo builds the same graphs
+// programmatically with real tensor shapes. BatchNorm and activation
+// functions are treated as fused into their producer layers (standard
+// practice in accelerator toolchains), so our layer counts differ from
+// Table I, which counts them separately; the structural characteristics the
+// scheduler keys on (cascades, residual bypasses, branching cells,
+// NAS-generated irregularity) are preserved. See DESIGN.md §1.
+package models
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/atomic-dataflow/atomicflow/internal/graph"
+)
+
+// Builder constructs one workload graph.
+type Builder func() *graph.Graph
+
+var registry = map[string]Builder{
+	"vgg19":        VGG19,
+	"resnet50":     ResNet50,
+	"resnet152":    ResNet152,
+	"resnet1001":   ResNet1001,
+	"inceptionv3":  InceptionV3,
+	"nasnet":       NASNet,
+	"pnasnet":      PNASNet,
+	"efficientnet": EfficientNet,
+	"tinyconv":     TinyConv,
+	"mobilenetv2":  MobileNetV2,
+	"vgg16":        VGG16,
+	"tinyresnet":   TinyResNet,
+	"tinybranch":   TinyBranch,
+	"pnascell":     PNASCell,
+}
+
+// PaperWorkloads lists the eight models of the paper's Table I, in the
+// paper's order.
+var PaperWorkloads = []string{
+	"vgg19", "resnet50", "resnet152", "inceptionv3",
+	"nasnet", "pnasnet", "efficientnet", "resnet1001",
+}
+
+// Fig2Workloads lists the four models used in the paper's Fig. 2.
+var Fig2Workloads = []string{"resnet50", "inceptionv3", "nasnet", "efficientnet"}
+
+// Build constructs the named model, returning an error for unknown names.
+// The returned graph is finalized.
+func Build(name string) (*graph.Graph, error) {
+	b, ok := registry[name]
+	if !ok {
+		return nil, fmt.Errorf("models: unknown model %q (have %v)", name, Names())
+	}
+	return b(), nil
+}
+
+// MustBuild is Build for known-good names; it panics on error.
+func MustBuild(name string) *graph.Graph {
+	g, err := Build(name)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// Names returns all registered model names, sorted.
+func Names() []string {
+	names := make([]string, 0, len(registry))
+	for n := range registry {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// builder provides the shared graph-construction helpers used by the zoo.
+type builder struct {
+	g   *graph.Graph
+	seq int
+}
+
+func newBuilder(name string) *builder { return &builder{g: graph.New(name)} }
+
+func (b *builder) name(prefix string) string {
+	b.seq++
+	return fmt.Sprintf("%s_%d", prefix, b.seq)
+}
+
+// input adds the network input pseudo-layer.
+func (b *builder) input(h, w, c int) int {
+	return b.g.AddLayer("input", graph.OpInput, graph.Shape{Hi: h, Wi: w, Ci: c, Ho: h, Wo: w, Co: c})
+}
+
+// conv adds a CONV layer reading from src; returns its ID.
+func (b *builder) conv(src, co, k, stride, pad int) int {
+	s := b.out(src)
+	return b.g.AddLayer(b.name("conv"), graph.OpConv,
+		graph.ConvShape(s.Ho, s.Wo, s.Co, co, k, stride, pad), src)
+}
+
+// convName is conv with an explicit name prefix, for readable DOT dumps.
+func (b *builder) convName(prefix string, src, co, k, stride, pad int) int {
+	s := b.out(src)
+	return b.g.AddLayer(b.name(prefix), graph.OpConv,
+		graph.ConvShape(s.Ho, s.Wo, s.Co, co, k, stride, pad), src)
+}
+
+// convRect adds a CONV with a rectangular kernel (e.g. 1x7), as used by
+// Inception-v3 factorized convolutions.
+func (b *builder) convRect(src, co, kh, kw, stride, padH, padW int) int {
+	s := b.out(src)
+	ho := (s.Ho+2*padH-kh)/stride + 1
+	wo := (s.Wo+2*padW-kw)/stride + 1
+	return b.g.AddLayer(b.name("conv"), graph.OpConv, graph.Shape{
+		Hi: s.Ho, Wi: s.Wo, Ci: s.Co, Ho: ho, Wo: wo, Co: co,
+		Kh: kh, Kw: kw, Stride: stride, Pad: padH,
+	}, src)
+}
+
+// dwconv adds a depthwise CONV (channels preserved).
+func (b *builder) dwconv(src, k, stride, pad int) int {
+	s := b.out(src)
+	return b.g.AddLayer(b.name("dwconv"), graph.OpDepthwiseConv,
+		graph.ConvShape(s.Ho, s.Wo, s.Co, s.Co, k, stride, pad), src)
+}
+
+// sepconv models a separable conv as depthwise k x k followed by a 1x1
+// pointwise conv to co channels (NASNet/PNASNet building block).
+func (b *builder) sepconv(src, co, k, stride, pad int) int {
+	dw := b.dwconv(src, k, stride, pad)
+	return b.conv(dw, co, 1, 1, 0)
+}
+
+// pool adds a pooling layer.
+func (b *builder) pool(src, k, stride, pad int) int {
+	s := b.out(src)
+	return b.g.AddLayer(b.name("pool"), graph.OpPool,
+		graph.PoolShape(s.Ho, s.Wo, s.Co, k, stride, pad), src)
+}
+
+// globalPool reduces spatial dims to 1x1.
+func (b *builder) globalPool(src int) int {
+	s := b.out(src)
+	return b.g.AddLayer(b.name("gpool"), graph.OpGlobalPool, graph.Shape{
+		Hi: s.Ho, Wi: s.Wo, Ci: s.Co, Ho: 1, Wo: 1, Co: s.Co, Kh: s.Ho, Kw: s.Wo, Stride: 1,
+	}, src)
+}
+
+// fc adds a fully-connected layer.
+func (b *builder) fc(src, co int) int {
+	s := b.out(src)
+	return b.g.AddLayer(b.name("fc"), graph.OpFC, graph.FCShape(s.Co, co), src)
+}
+
+// add joins two or more equal-shaped tensors element-wise.
+func (b *builder) add(srcs ...int) int {
+	s := b.out(srcs[0])
+	return b.g.AddLayer(b.name("add"), graph.OpEltwise,
+		graph.EltwiseShape(s.Ho, s.Wo, s.Co), srcs...)
+}
+
+// concat joins tensors along the channel dimension.
+func (b *builder) concat(srcs ...int) int {
+	s := b.out(srcs[0])
+	c := 0
+	for _, id := range srcs {
+		c += b.out(id).Co
+	}
+	return b.g.AddLayer(b.name("concat"), graph.OpConcat, graph.Shape{
+		Hi: s.Ho, Wi: s.Wo, Ci: c, Ho: s.Ho, Wo: s.Wo, Co: c, Kh: 1, Kw: 1, Stride: 1,
+	}, srcs...)
+}
+
+func (b *builder) out(id int) graph.Shape { return b.g.Layer(id).Shape }
+
+func (b *builder) finish() *graph.Graph {
+	if err := b.g.Finalize(); err != nil {
+		panic(fmt.Sprintf("models: %s: %v", b.g.Name, err))
+	}
+	return b.g
+}
+
+// TinyConv is a 4-conv cascade on small tensors, for unit tests.
+func TinyConv() *graph.Graph {
+	b := newBuilder("tinyconv")
+	x := b.input(32, 32, 3)
+	x = b.conv(x, 16, 3, 1, 1)
+	x = b.conv(x, 16, 3, 1, 1)
+	x = b.conv(x, 32, 3, 2, 1)
+	x = b.conv(x, 32, 3, 1, 1)
+	x = b.globalPool(x)
+	b.fc(x, 10)
+	return b.finish()
+}
+
+// TinyResNet is a 2-block residual net on small tensors, for unit tests.
+func TinyResNet() *graph.Graph {
+	b := newBuilder("tinyresnet")
+	x := b.input(32, 32, 3)
+	x = b.conv(x, 16, 3, 1, 1)
+	for i := 0; i < 2; i++ {
+		y := b.conv(x, 16, 3, 1, 1)
+		y = b.conv(y, 16, 3, 1, 1)
+		x = b.add(x, y)
+	}
+	x = b.globalPool(x)
+	b.fc(x, 10)
+	return b.finish()
+}
+
+// TinyBranch is a small 3-branch inception-style net, for unit tests.
+func TinyBranch() *graph.Graph {
+	b := newBuilder("tinybranch")
+	x := b.input(16, 16, 8)
+	a := b.conv(x, 8, 1, 1, 0)
+	c := b.conv(x, 8, 3, 1, 1)
+	d := b.conv(b.conv(x, 8, 1, 1, 0), 8, 5, 1, 2)
+	m := b.concat(a, c, d)
+	m = b.globalPool(m)
+	b.fc(m, 10)
+	return b.finish()
+}

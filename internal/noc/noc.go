@@ -1,0 +1,166 @@
+// Package noc models the on-chip interconnect of the scalable accelerator:
+// a 2D-mesh static network in the style of the TILE64 STN (paper Sec. IV-C),
+// with single-cycle hop latency between adjacent engines, full-crossbar
+// switches, and dimension-ordered (X-then-Y) routing. Credit-based flow
+// control is approximated by per-link serialization: flows crossing the
+// same directed link within a scheduling Round are serialized on it.
+package noc
+
+import "fmt"
+
+// Mesh is a W x H grid of engines. Engine e sits at (e % W, e / W).
+// The zero kind is the 2D mesh; NewTorus and NewHTree select the other
+// topologies while keeping the same interface (see topology.go).
+type Mesh struct {
+	W, H      int
+	LinkBytes int   // bytes a link forwards per cycle (paper port: 8 B)
+	HopCycles int64 // latency per hop (paper: 1)
+	kind      Kind
+}
+
+// NewMesh builds a mesh; linkBytes is the per-cycle link bandwidth.
+func NewMesh(w, h, linkBytes int) *Mesh {
+	if w <= 0 || h <= 0 || linkBytes <= 0 {
+		panic(fmt.Sprintf("noc: invalid mesh %dx%d link %d", w, h, linkBytes))
+	}
+	return &Mesh{W: w, H: h, LinkBytes: linkBytes, HopCycles: 1}
+}
+
+// Engines returns the number of engines on the mesh.
+func (m *Mesh) Engines() int { return m.W * m.H }
+
+// Coord returns the (x, y) position of engine e.
+func (m *Mesh) Coord(e int) (x, y int) { return e % m.W, e / m.W }
+
+// EngineAt returns the engine index at (x, y).
+func (m *Mesh) EngineAt(x, y int) int { return y*m.W + x }
+
+// Hops returns the minimal hop count between engines i and j — the
+// D(i,j) of the paper's TransferCost (Manhattan distance on the mesh,
+// wrap-aware on the torus, tree distance on the H-tree).
+func (m *Mesh) Hops(i, j int) int {
+	switch m.kind {
+	case KindTorus:
+		return m.hopsTorus(i, j)
+	case KindHTree:
+		return m.hopsHTree(i, j)
+	}
+	xi, yi := m.Coord(i)
+	xj, yj := m.Coord(j)
+	return abs(xi-xj) + abs(yi-yj)
+}
+
+// Link identifies a directed mesh link from engine From to adjacent
+// engine To.
+type Link struct{ From, To int }
+
+// Path returns the route from i to j as a sequence of directed links
+// (empty when i == j): XY dimension-ordered on the mesh, shorter-way XY
+// on the torus, up-over-down through switches on the H-tree.
+func (m *Mesh) Path(i, j int) []Link {
+	switch m.kind {
+	case KindTorus:
+		return m.pathTorus(i, j)
+	case KindHTree:
+		return m.pathHTree(i, j)
+	}
+	if i == j {
+		return nil
+	}
+	xi, yi := m.Coord(i)
+	xj, yj := m.Coord(j)
+	path := make([]Link, 0, abs(xi-xj)+abs(yi-yj))
+	cur := i
+	for x := xi; x != xj; {
+		next := x + sign(xj-x)
+		ne := m.EngineAt(next, yi)
+		path = append(path, Link{From: cur, To: ne})
+		cur, x = ne, next
+	}
+	for y := yi; y != yj; {
+		next := y + sign(yj-y)
+		ne := m.EngineAt(xj, next)
+		path = append(path, Link{From: cur, To: ne})
+		cur, y = ne, next
+	}
+	return path
+}
+
+// TransferCycles returns the uncontended latency of moving bytes from i
+// to j: wormhole pipeline of hop latency plus serialization on one link.
+func (m *Mesh) TransferCycles(i, j int, bytes int64) int64 {
+	if i == j || bytes == 0 {
+		return 0
+	}
+	hops := int64(m.Hops(i, j))
+	return hops*m.HopCycles + ceilDiv(bytes, int64(m.LinkBytes))
+}
+
+// Traffic accumulates the flows of one scheduling Round and estimates the
+// Round's communication time under per-link contention.
+type Traffic struct {
+	mesh     *Mesh
+	linkLoad map[Link]int64 // bytes crossing each directed link
+	byteHops int64          // Σ bytes x hops, the energy-relevant volume
+	maxHops  int
+	flows    int
+}
+
+// NewTraffic returns an empty per-Round traffic accumulator.
+func (m *Mesh) NewTraffic() *Traffic {
+	return &Traffic{mesh: m, linkLoad: make(map[Link]int64)}
+}
+
+// Add records a flow of bytes from engine src to engine dst.
+func (t *Traffic) Add(src, dst int, bytes int64) {
+	if src == dst || bytes == 0 {
+		return
+	}
+	for _, l := range t.mesh.Path(src, dst) {
+		t.linkLoad[l] += bytes
+	}
+	h := t.mesh.Hops(src, dst)
+	t.byteHops += bytes * int64(h)
+	if h > t.maxHops {
+		t.maxHops = h
+	}
+	t.flows++
+}
+
+// ByteHops returns the Σ bytes x hops volume (drives NoC energy).
+func (t *Traffic) ByteHops() int64 { return t.byteHops }
+
+// Flows returns the number of distinct flows recorded.
+func (t *Traffic) Flows() int { return t.flows }
+
+// FinishCycles estimates when all recorded flows complete, assuming they
+// start together: the bottleneck link's serialized load plus the longest
+// route's hop latency.
+func (t *Traffic) FinishCycles() int64 {
+	var worst int64
+	for _, load := range t.linkLoad {
+		if c := ceilDiv(load, int64(t.mesh.LinkBytes)); c > worst {
+			worst = c
+		}
+	}
+	if worst == 0 {
+		return 0
+	}
+	return worst + int64(t.maxHops)*t.mesh.HopCycles
+}
+
+func abs(a int) int {
+	if a < 0 {
+		return -a
+	}
+	return a
+}
+
+func sign(a int) int {
+	if a < 0 {
+		return -1
+	}
+	return 1
+}
+
+func ceilDiv(a, b int64) int64 { return (a + b - 1) / b }

@@ -1,0 +1,136 @@
+package noc
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestHopsManhattan(t *testing.T) {
+	m := NewMesh(8, 8, 8)
+	cases := []struct {
+		i, j, want int
+	}{
+		{0, 0, 0},
+		{0, 1, 1},
+		{0, 8, 1},
+		{0, 9, 2},
+		{0, 63, 14},
+		{7, 56, 14},
+	}
+	for _, c := range cases {
+		if got := m.Hops(c.i, c.j); got != c.want {
+			t.Errorf("Hops(%d,%d) = %d, want %d", c.i, c.j, got, c.want)
+		}
+	}
+}
+
+func TestPathIsXYOrdered(t *testing.T) {
+	m := NewMesh(4, 4, 8)
+	// From (0,0) to (2,3): X moves first.
+	path := m.Path(0, m.EngineAt(2, 3))
+	if len(path) != 5 {
+		t.Fatalf("path length = %d, want 5", len(path))
+	}
+	// First two links travel along y=0.
+	for i := 0; i < 2; i++ {
+		_, y := m.Coord(path[i].To)
+		if y != 0 {
+			t.Errorf("link %d ends at row %d, want 0 (XY routing)", i, y)
+		}
+	}
+	// Remaining links travel along x=2.
+	for i := 2; i < 5; i++ {
+		x, _ := m.Coord(path[i].To)
+		if x != 2 {
+			t.Errorf("link %d ends at col %d, want 2", i, x)
+		}
+	}
+}
+
+func TestPathContinuity(t *testing.T) {
+	m := NewMesh(5, 3, 8)
+	f := func(iRaw, jRaw uint8) bool {
+		i := int(iRaw) % m.Engines()
+		j := int(jRaw) % m.Engines()
+		path := m.Path(i, j)
+		if len(path) != m.Hops(i, j) {
+			return false
+		}
+		cur := i
+		for _, l := range path {
+			if l.From != cur || m.Hops(l.From, l.To) != 1 {
+				return false
+			}
+			cur = l.To
+		}
+		return i == j || cur == j
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTransferCycles(t *testing.T) {
+	m := NewMesh(4, 4, 8)
+	if got := m.TransferCycles(0, 0, 1000); got != 0 {
+		t.Errorf("self transfer = %d, want 0", got)
+	}
+	// 3 hops + 1024/8 serialization.
+	if got, want := m.TransferCycles(0, 3, 1024), int64(3+128); got != want {
+		t.Errorf("TransferCycles = %d, want %d", got, want)
+	}
+}
+
+func TestTrafficContention(t *testing.T) {
+	m := NewMesh(4, 1, 8)
+	tr := m.NewTraffic()
+	// Two flows share link 0->1: 800 and 800 bytes serialize.
+	tr.Add(0, 2, 800)
+	tr.Add(0, 3, 800)
+	want := int64(1600/8) + 3 // bottleneck link + max hops
+	if got := tr.FinishCycles(); got != want {
+		t.Errorf("FinishCycles = %d, want %d", got, want)
+	}
+	if got, want := tr.ByteHops(), int64(800*2+800*3); got != want {
+		t.Errorf("ByteHops = %d, want %d", got, want)
+	}
+	if tr.Flows() != 2 {
+		t.Errorf("Flows = %d, want 2", tr.Flows())
+	}
+}
+
+func TestDisjointFlowsDontContend(t *testing.T) {
+	m := NewMesh(4, 4, 8)
+	tr := m.NewTraffic()
+	// Opposite corners moving to adjacent engines: no shared links.
+	tr.Add(0, 1, 640)
+	tr.Add(15, 14, 640)
+	want := int64(640/8) + 1
+	if got := tr.FinishCycles(); got != want {
+		t.Errorf("FinishCycles = %d, want %d (no contention)", got, want)
+	}
+}
+
+func TestEmptyTraffic(t *testing.T) {
+	m := NewMesh(2, 2, 8)
+	tr := m.NewTraffic()
+	tr.Add(1, 1, 4096) // self-flow ignored
+	if tr.FinishCycles() != 0 || tr.ByteHops() != 0 || tr.Flows() != 0 {
+		t.Error("self-flow should be free")
+	}
+}
+
+// Property: Hops is symmetric and satisfies the triangle inequality.
+func TestHopsMetricProperty(t *testing.T) {
+	m := NewMesh(8, 8, 8)
+	f := func(aRaw, bRaw, cRaw uint8) bool {
+		a, b, c := int(aRaw)%64, int(bRaw)%64, int(cRaw)%64
+		if m.Hops(a, b) != m.Hops(b, a) {
+			return false
+		}
+		return m.Hops(a, c) <= m.Hops(a, b)+m.Hops(b, c)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,171 @@
+package noc
+
+import "fmt"
+
+// Kind selects the interconnect topology. The paper's evaluation uses the
+// 2D mesh (TILE64 STN), and names torus and H-tree as the other common
+// scalable-accelerator interconnects (Sec. IV-C); all three are modeled
+// so the mapping stage and the topology ablation bench can compare them.
+type Kind int
+
+const (
+	// KindMesh is the 2D mesh with XY dimension-ordered routing.
+	KindMesh Kind = iota
+	// KindTorus adds wrap-around links in both dimensions; routing takes
+	// the shorter direction per dimension.
+	KindTorus
+	// KindHTree connects engines as leaves of a balanced 4-ary tree of
+	// switches (internal nodes are addressed above the engine range).
+	KindHTree
+)
+
+// String names the topology.
+func (k Kind) String() string {
+	switch k {
+	case KindMesh:
+		return "mesh"
+	case KindTorus:
+		return "torus"
+	case KindHTree:
+		return "htree"
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// NewTorus builds a W x H torus. All Mesh methods apply; routes wrap
+// around whenever the wrapped direction is shorter.
+func NewTorus(w, h, linkBytes int) *Mesh {
+	m := NewMesh(w, h, linkBytes)
+	m.kind = KindTorus
+	return m
+}
+
+// NewHTree builds an H-tree (hierarchical 4-ary switch tree) over n
+// engines; n is rounded up to a power of four. Engine coordinates keep a
+// square layout for zig-zag placement, but distances and routes follow
+// the tree.
+func NewHTree(n, linkBytes int) *Mesh {
+	side := 1
+	for side*side < n {
+		side *= 2
+	}
+	m := NewMesh(side, side, linkBytes)
+	m.kind = KindHTree
+	return m
+}
+
+// Kind reports the mesh's topology.
+func (m *Mesh) Kind() Kind { return m.kind }
+
+// torusDelta returns the signed per-step move and hop count along one
+// dimension of size n from a to b, taking the shorter way around.
+func torusDelta(a, b, n int) (step, hops int) {
+	fwd := (b - a + n) % n
+	bwd := (a - b + n) % n
+	if fwd <= bwd {
+		return 1, fwd
+	}
+	return -1, bwd
+}
+
+// hopsTorus is the wrap-aware Manhattan distance.
+func (m *Mesh) hopsTorus(i, j int) int {
+	xi, yi := m.Coord(i)
+	xj, yj := m.Coord(j)
+	_, hx := torusDelta(xi, xj, m.W)
+	_, hy := torusDelta(yi, yj, m.H)
+	return hx + hy
+}
+
+// pathTorus routes X-then-Y taking the shorter direction per dimension.
+func (m *Mesh) pathTorus(i, j int) []Link {
+	if i == j {
+		return nil
+	}
+	xi, yi := m.Coord(i)
+	xj, yj := m.Coord(j)
+	var path []Link
+	cur := i
+	sx, hx := torusDelta(xi, xj, m.W)
+	x := xi
+	for s := 0; s < hx; s++ {
+		x = (x + sx + m.W) % m.W
+		ne := m.EngineAt(x, yi)
+		path = append(path, Link{From: cur, To: ne})
+		cur = ne
+	}
+	sy, hy := torusDelta(yi, yj, m.H)
+	y := yi
+	for s := 0; s < hy; s++ {
+		y = (y + sy + m.H) % m.H
+		ne := m.EngineAt(xj, y)
+		path = append(path, Link{From: cur, To: ne})
+		cur = ne
+	}
+	return path
+}
+
+// H-tree addressing: leaves are engines 0..n-1 (in zig-zag-compatible
+// row-major order); internal switch nodes are numbered from n upward,
+// level by level toward the root. Each switch has up to four children.
+
+// htreePathUp lists the switch nodes from a leaf to the root.
+func (m *Mesh) htreePathUp(leaf int) []int {
+	n := m.Engines()
+	var up []int
+	idx := leaf
+	width := n
+	base := n
+	for width > 1 {
+		idx = idx / 4
+		width = (width + 3) / 4
+		up = append(up, base+idx)
+		base += width
+		if width == 1 {
+			break
+		}
+	}
+	return up
+}
+
+// hopsHTree is the tree distance between two leaves.
+func (m *Mesh) hopsHTree(i, j int) int {
+	if i == j {
+		return 0
+	}
+	ui, uj := m.htreePathUp(i), m.htreePathUp(j)
+	// Find the lowest common switch.
+	for d := 0; d < len(ui); d++ {
+		if ui[d] == uj[d] {
+			return 2 * (d + 1)
+		}
+	}
+	return 2 * len(ui)
+}
+
+// pathHTree routes leaf i up to the lowest common switch and down to j.
+func (m *Mesh) pathHTree(i, j int) []Link {
+	if i == j {
+		return nil
+	}
+	ui, uj := m.htreePathUp(i), m.htreePathUp(j)
+	lca := len(ui) - 1
+	for d := 0; d < len(ui); d++ {
+		if ui[d] == uj[d] {
+			lca = d
+			break
+		}
+	}
+	var path []Link
+	cur := i
+	for d := 0; d <= lca; d++ {
+		path = append(path, Link{From: cur, To: ui[d]})
+		cur = ui[d]
+	}
+	for d := lca - 1; d >= 0; d-- {
+		path = append(path, Link{From: cur, To: uj[d]})
+		cur = uj[d]
+	}
+	path = append(path, Link{From: cur, To: j})
+	return path
+}

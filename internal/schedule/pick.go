@@ -1,0 +1,221 @@
+package schedule
+
+import "sort"
+
+// greedyPick selects up to N ready atoms following the paper's four
+// priority rules (Sec. IV-B):
+//
+//  1. remaining atoms of already-traversed layers (their ifmaps/weights are
+//     on-chip);
+//  2. atoms of not-yet-traversed layers at the same depth as an in-flight
+//     traversed layer (they share common inputs, releasing buffer early);
+//  3. atoms of other ready (dependent) layers in the current sample;
+//  4. atoms of later samples, entered only when the current sample cannot
+//     fill all engines.
+func (st *state) greedyPick() []int {
+	return st.pickWithPolicy(policy{})
+}
+
+// policy perturbs the greedy decision to generate DP alternatives.
+type policy struct {
+	stayInSample bool // never apply rule 4
+	longestFirst bool // within a rule, prefer atoms with more cycles
+	onlyRule1    bool // do not start new layers this Round
+	deferRule2   bool // swap the order of rules 2 and 3
+}
+
+// candidateLayer is one (sample, layer) with ready atoms, bucketed by rule.
+type candidateLayer struct {
+	k      int64
+	sample int
+	layer  int
+	rule   int
+	pos    int // topological position, for deterministic ordering
+}
+
+// pickWithPolicy is the shared selection engine.
+func (st *state) pickWithPolicy(p policy) []int {
+	n := st.opt.Engines
+	pick := make([]int, 0, n)
+
+	// Depths of traversed-but-unfinished layers in the current sample
+	// (rule 2 reference set).
+	activeDepth := make(map[int]bool)
+	for k, done := range st.traversed {
+		if !done {
+			continue
+		}
+		sample := int(k >> 32)
+		layer := int(k & 0xffffffff)
+		if sample == st.curSample && st.pending[k] > 0 {
+			activeDepth[st.g.Layer(layer).Depth] = true
+		}
+	}
+
+	var cands []candidateLayer
+	for k, lst := range st.ready {
+		if len(lst) == 0 {
+			continue
+		}
+		sample := int(k >> 32)
+		layer := int(k & 0xffffffff)
+		var rule int
+		switch {
+		case sample == st.curSample && st.traversed[k]:
+			rule = 1
+		case sample == st.curSample && activeDepth[st.g.Layer(layer).Depth]:
+			rule = 2
+		case sample == st.curSample:
+			rule = 3
+		default:
+			rule = 4
+		}
+		if p.deferRule2 && rule == 2 {
+			rule = 3
+		} else if p.deferRule2 && rule == 3 {
+			rule = 2
+		}
+		cands = append(cands, candidateLayer{
+			k: k, sample: sample, layer: layer, rule: rule, pos: st.layerPos[layer],
+		})
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		a, b := cands[i], cands[j]
+		if a.rule != b.rule {
+			return a.rule < b.rule
+		}
+		if a.sample != b.sample {
+			return a.sample < b.sample
+		}
+		return a.pos < b.pos
+	})
+
+	for _, c := range cands {
+		if len(pick) >= n {
+			break
+		}
+		if p.onlyRule1 && c.rule > 1 && len(pick) > 0 {
+			break
+		}
+		if p.stayInSample && c.rule == 4 {
+			break
+		}
+		lst := append([]int(nil), st.ready[c.k]...)
+		if p.longestFirst {
+			sort.Slice(lst, func(i, j int) bool {
+				ci, cj := st.cycles[lst[i]], st.cycles[lst[j]]
+				if ci != cj {
+					return ci > cj
+				}
+				return lst[i] < lst[j]
+			})
+		} else {
+			sort.Ints(lst)
+		}
+		for _, id := range lst {
+			if len(pick) >= n {
+				break
+			}
+			pick = append(pick, id)
+		}
+	}
+	return pick
+}
+
+// dpPick evaluates up to MaxOptions priority-pruned combinations with
+// bounded-lookahead recursion (the DP(G') of Algorithm 2) and returns the
+// combination with the minimum total estimated cost.
+func (st *state) dpPick() []int {
+	options := st.options()
+	if len(options) == 1 {
+		return options[0]
+	}
+	bestIdx, bestCost := 0, int64(-1)
+	for i, comb := range options {
+		cost := st.combCost(comb) + st.lookaheadCost(comb, st.opt.lookahead()-1)
+		if bestCost < 0 || cost < bestCost {
+			bestIdx, bestCost = i, cost
+		}
+	}
+	return options[bestIdx]
+}
+
+// options generates the pruned combination set for the current Round.
+func (st *state) options() [][]int {
+	policies := []policy{
+		{},                   // pure priority rules
+		{longestFirst: true}, // better Round packing of unequal atoms
+		{stayInSample: true}, // lower latency for the current sample
+		{onlyRule1: true},    // drain in-flight layers before widening
+		{deferRule2: true},   // dependent layers before siblings
+	}
+	maxOpts := st.opt.maxOptions()
+	var out [][]int
+	seen := make(map[string]bool)
+	for _, p := range policies {
+		if len(out) >= maxOpts {
+			break
+		}
+		comb := st.pickWithPolicy(p)
+		if len(comb) == 0 {
+			continue
+		}
+		sorted := append([]int(nil), comb...)
+		sort.Ints(sorted)
+		s := sig(sorted)
+		if seen[s] {
+			continue
+		}
+		seen[s] = true
+		out = append(out, comb)
+	}
+	return out
+}
+
+// sig encodes a sorted int slice as a compact map key.
+func sig(ids []int) string {
+	b := make([]byte, 0, len(ids)*4)
+	for _, id := range ids {
+		b = append(b, byte(id), byte(id>>8), byte(id>>16), byte(id>>24))
+	}
+	return string(b)
+}
+
+// combCost prices one Round: the engines synchronize on the slowest atom.
+func (st *state) combCost(comb []int) int64 {
+	var worst int64
+	for _, id := range comb {
+		if c := st.cycles[id]; c > worst {
+			worst = c
+		}
+	}
+	return worst
+}
+
+// lookaheadCost recursively schedules `depth` more Rounds greedily after
+// applying comb, then closes with the packing lower bound
+// remainingWork / N — the DP(G') estimate for the un-traversed sub-DAG.
+func (st *state) lookaheadCost(comb []int, depth int) int64 {
+	st.apply(comb)
+	var cost int64
+	if st.remaining == 0 {
+		cost = 0
+	} else if depth <= 0 {
+		cost = st.totalWork / int64(st.opt.Engines)
+	} else {
+		options := st.options()
+		best := int64(-1)
+		for _, next := range options {
+			c := st.combCost(next) + st.lookaheadCost(next, depth-1)
+			if best < 0 || c < best {
+				best = c
+			}
+		}
+		if best < 0 {
+			best = st.totalWork / int64(st.opt.Engines)
+		}
+		cost = best
+	}
+	st.rollback()
+	return cost
+}

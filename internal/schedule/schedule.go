@@ -1,0 +1,310 @@
+// Package schedule implements the paper's Algorithm 2: atomic-DAG
+// scheduling. The DAG is executed in discrete Rounds; each Round selects at
+// most N ready atoms (one per engine), synchronized by the last to finish
+// (paper Sec. III). The combination space per Round is pruned with the four
+// priority rules of Sec. IV-B, and a bounded-lookahead dynamic program over
+// the pruned option set picks the combination minimizing the Round cost
+// plus the recursively-estimated cost of the remaining sub-DAG — exactly
+// the paper's optimal-substructure formulation with the same pruning, made
+// tractable by bounding recursion depth and option fan-out.
+//
+// Two modes are exposed: Greedy applies the priority rules alone and scales
+// to DAGs with hundreds of thousands of atoms; DP (the default) explores
+// MaxOptions alternatives per Round with Lookahead rounds of recursion and
+// subsumes the greedy choice, so it never schedules worse.
+package schedule
+
+import (
+	"fmt"
+
+	"github.com/atomic-dataflow/atomicflow/internal/atom"
+	"github.com/atomic-dataflow/atomicflow/internal/engine"
+	"github.com/atomic-dataflow/atomicflow/internal/graph"
+)
+
+// Mode selects the search effort.
+type Mode int
+
+const (
+	// DP is bounded-lookahead dynamic programming over priority-pruned
+	// options (the paper's Algorithm 2).
+	DP Mode = iota
+	// Greedy applies the priority rules with no lookahead.
+	Greedy
+)
+
+// Options configures the scheduler.
+type Options struct {
+	Engines    int             // N, number of tensor engines (required)
+	Mode       Mode            // search mode (default DP)
+	Lookahead  int             // DP recursion depth in Rounds (default 3)
+	MaxOptions int             // option fan-out per Round (default 4)
+	EngineCfg  engine.Config   // engine pricing the atoms (required)
+	Dataflow   engine.Dataflow // dataflow pricing the atoms
+}
+
+func (o Options) lookahead() int {
+	if o.Lookahead <= 0 {
+		return 3
+	}
+	return o.Lookahead
+}
+
+func (o Options) maxOptions() int {
+	if o.MaxOptions <= 0 {
+		return 4
+	}
+	return o.MaxOptions
+}
+
+// Round is one synchronized step: the chosen atoms run on distinct engines
+// and the Round ends when the slowest finishes.
+type Round struct {
+	Atoms []int // atom IDs, at most Options.Engines of them
+}
+
+// Schedule is the ordered Round list plus lookup tables used by the
+// mapping, buffering and simulation stages.
+type Schedule struct {
+	Rounds    []Round
+	AtomRound []int // atom ID -> round index (-1 for virtual input atoms)
+
+	// ComputeCycles caches each atom's engine cycles under the scheduling
+	// engine config/dataflow.
+	ComputeCycles []int64
+}
+
+// NumRounds returns the schedule length.
+func (s *Schedule) NumRounds() int { return len(s.Rounds) }
+
+// MakespanLB returns Σ_t max cycles in Round t — the compute-only lower
+// bound on execution time that the scheduler optimizes.
+func (s *Schedule) MakespanLB() int64 {
+	var total int64
+	for _, r := range s.Rounds {
+		var worst int64
+		for _, id := range r.Atoms {
+			if c := s.ComputeCycles[id]; c > worst {
+				worst = c
+			}
+		}
+		total += worst
+	}
+	return total
+}
+
+// Build schedules the atomic DAG.
+func Build(d *atom.DAG, opt Options) (*Schedule, error) {
+	if opt.Engines <= 0 {
+		return nil, fmt.Errorf("schedule: Engines = %d", opt.Engines)
+	}
+	if err := opt.EngineCfg.Validate(); err != nil {
+		return nil, err
+	}
+	st := newState(d, opt)
+	sched := &Schedule{
+		AtomRound:     make([]int, d.NumAtoms()),
+		ComputeCycles: st.cycles,
+	}
+	for i := range sched.AtomRound {
+		sched.AtomRound[i] = -1
+	}
+	for st.remaining > 0 {
+		var comb []int
+		if opt.Mode == Greedy {
+			comb = st.greedyPick()
+		} else {
+			comb = st.dpPick()
+		}
+		if len(comb) == 0 {
+			return nil, fmt.Errorf("schedule: deadlock with %d atoms remaining", st.remaining)
+		}
+		t := len(sched.Rounds)
+		for _, id := range comb {
+			sched.AtomRound[id] = t
+		}
+		sched.Rounds = append(sched.Rounds, Round{Atoms: comb})
+		st.apply(comb)
+	}
+	return sched, nil
+}
+
+// state is the mutable scheduling frontier.
+type state struct {
+	d   *atom.DAG
+	g   *graph.Graph
+	opt Options
+
+	cycles    []int64 // per-atom engine cycles
+	indeg     []int
+	scheduled []bool
+	remaining int
+
+	// ready atoms grouped per (sample, layer); layerOrder maps layer ID to
+	// its topological position for deterministic ordering.
+	ready      map[int64][]int // key = sample<<32 | layer
+	readyCount int
+	layerPos   []int
+
+	// traversed marks (sample, layer) pairs with at least one scheduled
+	// atom; pending counts unscheduled atoms per (sample, layer).
+	traversed map[int64]bool
+	pending   map[int64]int
+
+	curSample   int
+	samplesLeft []int // unscheduled atom count per sample
+
+	totalWork int64 // Σ cycles of unscheduled atoms
+	undoLog   []undo
+}
+
+type undo struct {
+	comb        []int
+	readyAdded  []int // atom IDs that became ready during this apply
+	newTravKeys []int64
+	prevSample  int
+	workDelta   int64
+}
+
+func key(sample, layer int) int64 { return int64(sample)<<32 | int64(layer) }
+
+func newState(d *atom.DAG, opt Options) *state {
+	st := &state{
+		d:         d,
+		g:         d.Graph,
+		opt:       opt,
+		cycles:    make([]int64, d.NumAtoms()),
+		indeg:     make([]int, d.NumAtoms()),
+		scheduled: make([]bool, d.NumAtoms()),
+		ready:     make(map[int64][]int),
+		traversed: make(map[int64]bool),
+		pending:   make(map[int64]int),
+		layerPos:  make([]int, d.Graph.NumLayers()),
+	}
+	for i, lid := range d.Graph.Topo() {
+		st.layerPos[lid] = i
+	}
+	st.samplesLeft = make([]int, d.Batch)
+	for _, a := range d.Atoms {
+		c := engine.Evaluate(opt.EngineCfg, opt.Dataflow, a.Task)
+		st.cycles[a.ID] = c.Cycles
+		st.indeg[a.ID] = len(a.Deps)
+	}
+	// Virtual atoms (graph inputs) complete immediately: they model data
+	// already resident in DRAM, not engine work.
+	completedVirtual := make([]int, 0)
+	for _, a := range d.Atoms {
+		if a.Task.Kind == graph.OpInput {
+			st.scheduled[a.ID] = true
+			completedVirtual = append(completedVirtual, a.ID)
+			continue
+		}
+		st.remaining++
+		st.samplesLeft[a.Sample]++
+		st.pending[key(a.Sample, a.Layer)]++
+		st.totalWork += st.cycles[a.ID]
+	}
+	for _, a := range d.Atoms {
+		if st.scheduled[a.ID] || st.indeg[a.ID] > 0 {
+			continue
+		}
+		// Ready unless it waits on a virtual dep (handled below).
+		st.pushReady(a.ID)
+	}
+	for _, id := range completedVirtual {
+		for _, c := range d.Consumers(id) {
+			st.indeg[c]--
+			if st.indeg[c] == 0 && !st.scheduled[c] {
+				st.pushReady(c)
+			}
+		}
+	}
+	return st
+}
+
+func (st *state) pushReady(id int) {
+	a := st.d.Atoms[id]
+	k := key(a.Sample, a.Layer)
+	st.ready[k] = append(st.ready[k], id)
+	st.readyCount++
+}
+
+// apply schedules a combination, updating the frontier, and records an
+// undo entry for lookahead rollback.
+func (st *state) apply(comb []int) {
+	u := undo{comb: append([]int(nil), comb...), prevSample: st.curSample}
+	for _, id := range comb {
+		a := st.d.Atoms[id]
+		k := key(a.Sample, a.Layer)
+		st.scheduled[id] = true
+		st.remaining--
+		st.samplesLeft[a.Sample]--
+		st.pending[k]--
+		st.totalWork -= st.cycles[id]
+		u.workDelta += st.cycles[id]
+		// Remove from its ready list (atoms are taken front-first, but a
+		// lookahead branch may take from the middle; scan).
+		lst := st.ready[k]
+		for i, v := range lst {
+			if v == id {
+				st.ready[k] = append(lst[:i], lst[i+1:]...)
+				st.readyCount--
+				break
+			}
+		}
+		if !st.traversed[k] {
+			st.traversed[k] = true
+			u.newTravKeys = append(u.newTravKeys, k)
+		}
+		for _, c := range st.d.Consumers(id) {
+			st.indeg[c]--
+			if st.indeg[c] == 0 && !st.scheduled[c] {
+				st.pushReady(c)
+				u.readyAdded = append(u.readyAdded, c)
+			}
+		}
+	}
+	for st.curSample < st.d.Batch && st.samplesLeft[st.curSample] == 0 {
+		st.curSample++
+	}
+	st.undoLog = append(st.undoLog, u)
+}
+
+// rollback undoes the most recent apply.
+func (st *state) rollback() {
+	u := st.undoLog[len(st.undoLog)-1]
+	st.undoLog = st.undoLog[:len(st.undoLog)-1]
+	// Remove the specific atoms that became ready during the apply.
+	// Nested apply/rollback pairs may have reordered the lists, so
+	// removal is by ID, not position.
+	for i := len(u.readyAdded) - 1; i >= 0; i-- {
+		id := u.readyAdded[i]
+		a := st.d.Atoms[id]
+		k := key(a.Sample, a.Layer)
+		lst := st.ready[k]
+		for j, v := range lst {
+			if v == id {
+				st.ready[k] = append(lst[:j], lst[j+1:]...)
+				st.readyCount--
+				break
+			}
+		}
+	}
+	for _, id := range u.comb {
+		a := st.d.Atoms[id]
+		k := key(a.Sample, a.Layer)
+		st.scheduled[id] = false
+		st.remaining++
+		st.samplesLeft[a.Sample]++
+		st.pending[k]++
+		for _, c := range st.d.Consumers(id) {
+			st.indeg[c]++
+		}
+		st.pushReady(id)
+	}
+	for _, k := range u.newTravKeys {
+		delete(st.traversed, k)
+	}
+	st.totalWork += u.workDelta
+	st.curSample = u.prevSample
+}

@@ -1,0 +1,393 @@
+// Package sim is the event-driven system simulator of the scalable
+// accelerator (paper Sec. V-A): it executes a Round schedule with an
+// atom-engine mapping against the engine, NoC, DRAM, buffer and energy
+// models, and reports execution time, utilization, NoC-blocked fraction,
+// on-chip reuse ratio, DRAM traffic and the energy breakdown.
+//
+// Rounds are barrier-synchronized (Sec. III). Within a Round the simulator
+// is event-driven at flow granularity: DRAM requests queue on HBM channels,
+// NoC flows serialize on shared mesh links along their XY routes, and each
+// engine starts computing when its last input arrives. Eviction write-backs
+// post to the HBM write queue without blocking the Round (write-buffer
+// semantics), but they do delay later reads through channel occupancy.
+package sim
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/atomic-dataflow/atomicflow/internal/atom"
+	"github.com/atomic-dataflow/atomicflow/internal/buffer"
+	"github.com/atomic-dataflow/atomicflow/internal/dram"
+	"github.com/atomic-dataflow/atomicflow/internal/energy"
+	"github.com/atomic-dataflow/atomicflow/internal/engine"
+	"github.com/atomic-dataflow/atomicflow/internal/mapping"
+	"github.com/atomic-dataflow/atomicflow/internal/noc"
+	"github.com/atomic-dataflow/atomicflow/internal/schedule"
+)
+
+// Config assembles the hardware models.
+type Config struct {
+	Mesh     *noc.Mesh
+	Engine   engine.Config
+	Dataflow engine.Dataflow
+	DRAM     dram.Config
+	Energy   energy.Model
+
+	// BufferBytes overrides the per-engine buffer capacity used by the
+	// buffer manager (default Engine.BufferBytes).
+	BufferBytes int64
+	// DoubleBuffer overlaps a Round's DRAM fetches with the previous
+	// Round's compute (default true via DefaultConfig).
+	DoubleBuffer bool
+	// NaiveMapping places Rounds in plain zig-zag order without the
+	// TransferCost permutation search or weight-affinity refinement —
+	// the placement a reuse-oblivious runtime (e.g. Rammer) would use.
+	NaiveMapping bool
+	// Trace, when non-nil, receives one RoundTrace per executed Round
+	// (see internal/trace for exporters).
+	Trace func(RoundTrace)
+}
+
+// AtomTrace records one atom's execution within a Round.
+type AtomTrace struct {
+	Atom   int
+	Layer  int
+	Sample int
+	Engine int
+	Cycles int64 // compute cycles on its engine
+}
+
+// RoundTrace records the timing of one Round for trace exporters.
+type RoundTrace struct {
+	Round      int
+	Start, End int64 // absolute cycles
+	ComputeEnd int64 // end if neither NoC nor DRAM ever blocked
+	Atoms      []AtomTrace
+	Flows      int
+	DRAMRead   int64
+	DRAMWrite  int64
+}
+
+// DefaultConfig returns the paper's 8x8-engine system (Sec. V-A). Mesh
+// links carry 32 B/cycle (256-bit channels at 500 MHz = 16 GB/s per link),
+// the common width for tensor-engine meshes.
+func DefaultConfig() Config {
+	return Config{
+		Mesh:         noc.NewMesh(8, 8, 32),
+		Engine:       engine.Default(),
+		Dataflow:     engine.KCPartition,
+		DRAM:         dram.Default(),
+		Energy:       energy.Default(),
+		DoubleBuffer: true,
+	}
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if c.Mesh == nil {
+		return fmt.Errorf("sim: nil mesh")
+	}
+	if err := c.Engine.Validate(); err != nil {
+		return err
+	}
+	return c.DRAM.Validate()
+}
+
+// UsableBufferBytes returns the per-engine buffer capacity in effect:
+// the BufferBytes override when set, else the engine's configured SRAM.
+func (c Config) UsableBufferBytes() int64 {
+	if c.BufferBytes > 0 {
+		return c.BufferBytes
+	}
+	return int64(c.Engine.BufferBytes)
+}
+
+// Report is the simulation outcome.
+type Report struct {
+	Cycles        int64   // total execution cycles
+	TimeMS        float64 // Cycles at the engine clock
+	Rounds        int
+	ComputeCycles int64 // Σ per-Round slowest compute (memory-free time)
+
+	NoCBlockedCycles  int64 // added by on-chip transfer waits
+	DRAMBlockedCycles int64 // added by off-chip access waits
+
+	MACs             int64
+	PEUtilization    float64 // MACs / (Cycles x total PEs) — end-to-end
+	ComputeUtil      float64 // MACs / (ComputeCycles x total PEs) — w/o memory delay
+	DRAMReadBytes    int64
+	DRAMWriteBytes   int64
+	NoCByteHops      int64
+	OnChipReuseRatio float64 // fraction of input bytes served from distributed buffers
+	Evictions        int64
+
+	Energy energy.Breakdown
+}
+
+// NoCOverheadFraction returns the share of total time the NoC blocks
+// computation (Table II row "NoC Overhead").
+func (r Report) NoCOverheadFraction() float64 {
+	if r.Cycles == 0 {
+		return 0
+	}
+	return float64(r.NoCBlockedCycles) / float64(r.Cycles)
+}
+
+// Run simulates the schedule on the configured hardware.
+func Run(d *atom.DAG, s *schedule.Schedule, cfg Config) (Report, error) {
+	if err := cfg.Validate(); err != nil {
+		return Report{}, err
+	}
+	n := cfg.Mesh.Engines()
+	man, err := buffer.New(d, s, n, cfg.UsableBufferBytes())
+	if err != nil {
+		return Report{}, err
+	}
+	mapper := mapping.New(cfg.Mesh, d)
+	hbm := dram.New(cfg.DRAM)
+
+	var rep Report
+	rep.Rounds = s.NumRounds()
+	var totalInputs, onChipInputs int64
+	now := int64(0) // current time (Round start)
+	prevStart := int64(0)
+	for t, round := range s.Rounds {
+		var placed mapping.Result
+		if cfg.NaiveMapping {
+			placed = mapper.PlaceRound(round.Atoms, func(int) int { return -1 })
+		} else {
+			placed = mapper.PlaceRoundWeighted(round.Atoms, man.Locate, man.HasWeights)
+		}
+		io, err := man.ExecuteRound(t, placed.EngineOf)
+		if err != nil {
+			return Report{}, err
+		}
+
+		// --- DRAM reads: one aggregate request per engine. With double
+		// buffering the request is issued at the previous Round's start
+		// (prefetch); data is usable no earlier than this Round's start.
+		dramReady := make(map[int]int64, n)
+		issueAt := now
+		if cfg.DoubleBuffer {
+			issueAt = prevStart
+		}
+		// Deterministic engine order.
+		engines := make([]int, 0, len(round.Atoms))
+		for _, id := range round.Atoms {
+			engines = append(engines, placed.EngineOf[id])
+		}
+		sort.Ints(engines)
+		for _, e := range engines {
+			if b := io.DRAMReadBytes[e]; b > 0 {
+				done := hbm.Read(issueAt, b)
+				if done < now {
+					done = now
+				}
+				dramReady[e] = done
+			}
+		}
+
+		// --- NoC flows: link-level serialization along XY routes, with
+		// tagged weight broadcasts delivered as multicast trees.
+		nocReady, roundByteHops := simulateFlows(cfg.Mesh, io.Flows, now)
+
+		// --- Compute: engines stream inputs concurrently with execution
+		// (tile-level double buffering), so an engine finishes when both
+		// its compute time has elapsed and its last input byte has
+		// arrived — the Round is bounded by the slower of computation and
+		// data delivery rather than their sum.
+		var endAll, endNoNoC, maxComp int64
+		for _, id := range round.Atoms {
+			e := placed.EngineOf[id]
+			comp := s.ComputeCycles[id]
+			if comp > maxComp {
+				maxComp = comp
+			}
+			end := now + comp
+			if r, ok := dramReady[e]; ok && r > end {
+				end = r
+			}
+			if end > endNoNoC {
+				endNoNoC = end
+			}
+			if r, ok := nocReady[e]; ok && r > end {
+				end = r
+			}
+			if end > endAll {
+				endAll = end
+			}
+		}
+		endNoMem := now + maxComp
+		if endNoNoC < endNoMem {
+			endNoNoC = endNoMem
+		}
+		if endAll < endNoNoC {
+			endAll = endNoNoC
+		}
+
+		// --- Write-backs post at Round end without blocking it.
+		for _, e := range engines {
+			if b := io.DRAMWriteBytes[e]; b > 0 {
+				hbm.Write(endAll, b)
+			}
+		}
+
+		// --- Accounting.
+		rep.ComputeCycles += maxComp
+		rep.NoCBlockedCycles += endAll - endNoNoC
+		rep.DRAMBlockedCycles += endNoNoC - endNoMem
+		for _, id := range round.Atoms {
+			c := engine.Evaluate(cfg.Engine, cfg.Dataflow, d.Atoms[id].Task)
+			rep.MACs += c.MACs
+		}
+		rep.NoCByteHops += roundByteHops
+		rep.Energy.AddNoC(cfg.Energy, roundByteHops)
+		var sramR, sramW int64
+		for e := 0; e < n; e++ {
+			sramR += io.SRAMReadBytes[e]
+			sramW += io.SRAMWriteBytes[e]
+		}
+		rep.Energy.AddSRAM(cfg.Energy, sramR, sramW)
+		rep.DRAMReadBytes += sumSlice(io.DRAMReadBytes)
+		rep.DRAMWriteBytes += sumSlice(io.DRAMWriteBytes)
+		totalInputs += io.InputBytesTotal
+		onChipInputs += io.InputBytesOnChip
+
+		if cfg.Trace != nil {
+			tr := RoundTrace{
+				Round: t, Start: now, End: endAll, ComputeEnd: endNoMem,
+				Flows:     len(io.Flows),
+				DRAMRead:  sumSlice(io.DRAMReadBytes),
+				DRAMWrite: sumSlice(io.DRAMWriteBytes),
+			}
+			for _, id := range round.Atoms {
+				a := d.Atoms[id]
+				tr.Atoms = append(tr.Atoms, AtomTrace{
+					Atom: id, Layer: a.Layer, Sample: a.Sample,
+					Engine: placed.EngineOf[id], Cycles: s.ComputeCycles[id],
+				})
+			}
+			cfg.Trace(tr)
+		}
+
+		prevStart = now
+		now = endAll
+	}
+
+	rep.Cycles = now
+	rep.TimeMS = float64(now) / (cfg.Engine.FreqMHz * 1e3)
+	rep.Evictions = man.Evictions()
+	if totalInputs > 0 {
+		rep.OnChipReuseRatio = float64(onChipInputs) / float64(totalInputs)
+	}
+	totalPEs := int64(n * cfg.Engine.NumPEs() * cfg.Engine.MACsPerPE)
+	if rep.Cycles > 0 {
+		rep.PEUtilization = float64(rep.MACs) / (float64(rep.Cycles) * float64(totalPEs))
+	}
+	if rep.ComputeCycles > 0 {
+		rep.ComputeUtil = float64(rep.MACs) / (float64(rep.ComputeCycles) * float64(totalPEs))
+	}
+	rep.Energy.AddMACs(cfg.Energy, rep.MACs)
+	rep.Energy.AddDRAM(cfg.Energy, rep.DRAMReadBytes+rep.DRAMWriteBytes)
+	rep.Energy.AddStatic(cfg.Energy, rep.Cycles*int64(n))
+	return rep, nil
+}
+
+// simulateFlows serializes the Round's flows on shared links
+// (deterministic order) and returns per-destination-engine arrival times
+// plus the Round's byte-hop volume. Unicast flows each occupy every link
+// of their XY route; flows sharing (Src, Tag != 0) carry one tensor to
+// many engines and occupy the union of their routes once (switch-level
+// replication, as in weight broadcast).
+func simulateFlows(mesh *noc.Mesh, flows []buffer.Flow, start int64) (map[int]int64, int64) {
+	type mkey struct {
+		src int
+		tag int64
+	}
+	groups := make(map[mkey][]buffer.Flow)
+	var order []mkey
+	for _, f := range flows {
+		k := mkey{src: f.Src, tag: f.Tag}
+		if f.Tag == 0 {
+			// Unicast: unique group per flow (dst disambiguates).
+			k = mkey{src: f.Src, tag: -int64(f.Dst) - 1}
+		}
+		if _, ok := groups[k]; !ok {
+			order = append(order, k)
+		}
+		groups[k] = append(groups[k], f)
+	}
+	sort.Slice(order, func(i, j int) bool {
+		if order[i].src != order[j].src {
+			return order[i].src < order[j].src
+		}
+		ti, tj := order[i].tag, order[j].tag
+		ai, aj := ti, tj
+		if ai < 0 {
+			ai = -ai
+		}
+		if aj < 0 {
+			aj = -aj
+		}
+		if ai != aj {
+			return ai < aj
+		}
+		return ti < tj
+	})
+
+	linkFree := make(map[noc.Link]int64)
+	ready := make(map[int]int64)
+	var byteHops int64
+	for _, k := range order {
+		fs := groups[k]
+		sort.Slice(fs, func(i, j int) bool { return fs[i].Dst < fs[j].Dst })
+		bytes := fs[0].Bytes
+		for _, f := range fs {
+			if f.Bytes > bytes {
+				bytes = f.Bytes
+			}
+		}
+		ser := (bytes + int64(mesh.LinkBytes) - 1) / int64(mesh.LinkBytes)
+		// Walk each destination's route; a link is claimed once per tree
+		// (switch-level replication). A link cannot start forwarding
+		// before the stream's head reaches it from the upstream link
+		// (cut-through), nor while a previous tensor occupies it.
+		linkStart := make(map[noc.Link]int64)
+		for _, f := range fs {
+			head := start
+			var lastStart int64 = start
+			path := mesh.Path(f.Src, f.Dst)
+			for _, l := range path {
+				s, claimed := linkStart[l]
+				if !claimed {
+					s = head
+					if lf := linkFree[l]; lf > s {
+						s = lf
+					}
+					linkStart[l] = s
+					linkFree[l] = s + ser
+				}
+				head = s + mesh.HopCycles
+				lastStart = s
+			}
+			arrive := start
+			if len(path) > 0 {
+				arrive = lastStart + ser + mesh.HopCycles
+			}
+			if arrive > ready[f.Dst] {
+				ready[f.Dst] = arrive
+			}
+		}
+		byteHops += bytes * int64(len(linkStart))
+	}
+	return ready, byteHops
+}
+
+func sumSlice(xs []int64) int64 {
+	var t int64
+	for _, x := range xs {
+		t += x
+	}
+	return t
+}

@@ -1,0 +1,270 @@
+package sim
+
+import (
+	"testing"
+
+	"github.com/atomic-dataflow/atomicflow/internal/anneal"
+	"github.com/atomic-dataflow/atomicflow/internal/atom"
+	"github.com/atomic-dataflow/atomicflow/internal/buffer"
+	"github.com/atomic-dataflow/atomicflow/internal/engine"
+	"github.com/atomic-dataflow/atomicflow/internal/models"
+	"github.com/atomic-dataflow/atomicflow/internal/noc"
+	"github.com/atomic-dataflow/atomicflow/internal/schedule"
+)
+
+func smallConfig() Config {
+	c := DefaultConfig()
+	c.Mesh = noc.NewMesh(2, 2, 8)
+	return c
+}
+
+func pipeline(t *testing.T, model string, batch int, cfg Config, mode schedule.Mode) (*atom.DAG, *schedule.Schedule) {
+	t.Helper()
+	g := models.MustBuild(model)
+	res := anneal.SA(g, cfg.Engine, cfg.Dataflow, anneal.Options{MaxIters: 80})
+	d, err := atom.Build(g, batch, res.Spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := schedule.Build(d, schedule.Options{
+		Engines: cfg.Mesh.Engines(), Mode: mode,
+		EngineCfg: cfg.Engine, Dataflow: cfg.Dataflow,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d, s
+}
+
+func TestRunBasicInvariants(t *testing.T) {
+	cfg := smallConfig()
+	d, s := pipeline(t, "tinyconv", 1, cfg, schedule.Greedy)
+	rep, err := Run(d, s, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Cycles <= 0 {
+		t.Fatalf("Cycles = %d", rep.Cycles)
+	}
+	if rep.Cycles < rep.ComputeCycles {
+		t.Errorf("total %d < compute-only %d", rep.Cycles, rep.ComputeCycles)
+	}
+	if rep.Cycles != rep.ComputeCycles+rep.NoCBlockedCycles+rep.DRAMBlockedCycles {
+		t.Errorf("cycle decomposition: %d != %d + %d + %d",
+			rep.Cycles, rep.ComputeCycles, rep.NoCBlockedCycles, rep.DRAMBlockedCycles)
+	}
+	if rep.PEUtilization <= 0 || rep.PEUtilization > 1 {
+		t.Errorf("PEUtilization = %v", rep.PEUtilization)
+	}
+	if rep.ComputeUtil < rep.PEUtilization {
+		t.Errorf("memory-free util %v < end-to-end util %v", rep.ComputeUtil, rep.PEUtilization)
+	}
+	if rep.OnChipReuseRatio < 0 || rep.OnChipReuseRatio > 1 {
+		t.Errorf("reuse ratio = %v", rep.OnChipReuseRatio)
+	}
+	if rep.Energy.TotalPJ() <= 0 {
+		t.Error("no energy accounted")
+	}
+	// MACs must equal the model's ground truth.
+	g := models.MustBuild("tinyconv")
+	if rep.MACs != g.TotalMACs() {
+		t.Errorf("MACs = %d, want %d", rep.MACs, g.TotalMACs())
+	}
+}
+
+func TestBatchIncreasesWorkNotLatencyLinearly(t *testing.T) {
+	cfg := smallConfig()
+	d1, s1 := pipeline(t, "tinyconv", 1, cfg, schedule.Greedy)
+	d4, s4 := pipeline(t, "tinyconv", 4, cfg, schedule.Greedy)
+	r1, err := Run(d1, s1, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r4, err := Run(d4, s4, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r4.MACs != 4*r1.MACs {
+		t.Errorf("batch-4 MACs = %d, want %d", r4.MACs, 4*r1.MACs)
+	}
+	// Batch parallelism fills idle engines: time grows sublinearly.
+	if r4.Cycles >= 4*r1.Cycles {
+		t.Errorf("batch-4 cycles %d >= 4x batch-1 cycles %d (no batch parallelism)",
+			r4.Cycles, 4*r1.Cycles)
+	}
+	if r4.PEUtilization <= r1.PEUtilization {
+		t.Errorf("batch-4 util %.3f <= batch-1 util %.3f", r4.PEUtilization, r1.PEUtilization)
+	}
+}
+
+func TestSmallerBufferMoreDRAM(t *testing.T) {
+	cfg := smallConfig()
+	d, s := pipeline(t, "tinyresnet", 2, cfg, schedule.Greedy)
+	big := cfg
+	big.BufferBytes = 4 << 20
+	small := cfg
+	small.BufferBytes = 4 << 10
+	rb, err := Run(d, s, big)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs, err := Run(d, s, small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs.DRAMReadBytes <= rb.DRAMReadBytes {
+		t.Errorf("small-buffer DRAM reads %d <= big-buffer %d", rs.DRAMReadBytes, rb.DRAMReadBytes)
+	}
+	if rs.OnChipReuseRatio >= rb.OnChipReuseRatio {
+		t.Errorf("small-buffer reuse %.3f >= big-buffer %.3f",
+			rs.OnChipReuseRatio, rb.OnChipReuseRatio)
+	}
+	if rs.Energy.DRAM <= rb.Energy.DRAM {
+		t.Error("small buffer should cost more DRAM energy")
+	}
+}
+
+func TestDoubleBufferHelps(t *testing.T) {
+	cfg := smallConfig()
+	d, s := pipeline(t, "tinyconv", 2, cfg, schedule.Greedy)
+	on := cfg
+	on.DoubleBuffer = true
+	off := cfg
+	off.DoubleBuffer = false
+	ron, err := Run(d, s, on)
+	if err != nil {
+		t.Fatal(err)
+	}
+	roff, err := Run(d, s, off)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ron.Cycles > roff.Cycles {
+		t.Errorf("double buffering made it slower: %d > %d", ron.Cycles, roff.Cycles)
+	}
+}
+
+func TestSimulateFlowsContention(t *testing.T) {
+	mesh := noc.NewMesh(4, 1, 8)
+	// Two flows over the shared 0->1 link.
+	flows := []buffer.Flow{
+		{Src: 0, Dst: 2, Bytes: 800},
+		{Src: 0, Dst: 3, Bytes: 800},
+	}
+	ready, byteHops := simulateFlows(mesh, flows, 100)
+	// First flow: link0 busy [100,200), arrives 2 hops later.
+	if got := ready[2]; got != 100+100+2*1 {
+		t.Errorf("flow to 2 arrives at %d, want 202", got)
+	}
+	// Second flow waits for link 0->1: starts at 200.
+	if got := ready[3]; got <= ready[2] {
+		t.Errorf("contended flow arrives at %d, want after %d", got, ready[2])
+	}
+	if want := int64(800*2 + 800*3); byteHops != want {
+		t.Errorf("byteHops = %d, want %d", byteHops, want)
+	}
+}
+
+func TestSimulateFlowsMulticast(t *testing.T) {
+	mesh := noc.NewMesh(4, 1, 8)
+	// Tagged broadcast from 0 to 1,2,3: bytes serialize once per link of
+	// the shared route, not once per destination.
+	flows := []buffer.Flow{
+		{Src: 0, Dst: 1, Bytes: 800, Tag: 7},
+		{Src: 0, Dst: 2, Bytes: 800, Tag: 7},
+		{Src: 0, Dst: 3, Bytes: 800, Tag: 7},
+	}
+	ready, byteHops := simulateFlows(mesh, flows, 0)
+	if want := int64(800 * 3); byteHops != want { // 3 tree links
+		t.Errorf("multicast byteHops = %d, want %d", byteHops, want)
+	}
+	// Compare against unicast: source link serializes 3x.
+	for i := range flows {
+		flows[i].Tag = 0
+	}
+	_, uniHops := simulateFlows(mesh, flows, 0)
+	if uniHops <= byteHops {
+		t.Errorf("unicast byteHops %d should exceed multicast %d", uniHops, byteHops)
+	}
+	if ready[3] <= ready[1] {
+		t.Errorf("farther destination should arrive later: %v", ready)
+	}
+}
+
+func TestSimulateFlowsEmpty(t *testing.T) {
+	mesh := noc.NewMesh(2, 2, 8)
+	got, bh := simulateFlows(mesh, nil, 5)
+	if len(got) != 0 || bh != 0 {
+		t.Errorf("empty flows produced arrivals: %v hops %d", got, bh)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	cfg := smallConfig()
+	d, s := pipeline(t, "tinyconv", 1, cfg, schedule.Greedy)
+	bad := cfg
+	bad.Mesh = nil
+	if _, err := Run(d, s, bad); err == nil {
+		t.Error("nil mesh accepted")
+	}
+	bad2 := cfg
+	bad2.Engine.PEx = 0
+	if _, err := Run(d, s, bad2); err == nil {
+		t.Error("bad engine accepted")
+	}
+}
+
+func TestDeterministicRuns(t *testing.T) {
+	cfg := smallConfig()
+	d, s := pipeline(t, "pnascell", 2, cfg, schedule.Greedy)
+	a, err := Run(d, s, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(d, s, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Cycles != b.Cycles || a.DRAMReadBytes != b.DRAMReadBytes || a.NoCByteHops != b.NoCByteHops {
+		t.Errorf("non-deterministic: %+v vs %+v", a, b)
+	}
+}
+
+func TestEnergyBreakdownComplete(t *testing.T) {
+	cfg := smallConfig()
+	d, s := pipeline(t, "tinyresnet", 1, cfg, schedule.Greedy)
+	rep, err := Run(d, s, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := rep.Energy
+	for name, v := range map[string]float64{
+		"MAC": e.MAC, "SRAM": e.SRAM, "DRAM": e.DRAM, "Static": e.Static,
+	} {
+		if v <= 0 {
+			t.Errorf("energy component %s = %v, want > 0", name, v)
+		}
+	}
+}
+
+func TestEngineTaskUsesDataflow(t *testing.T) {
+	// The same schedule simulated under YX vs KC pricing differs: use a
+	// model whose first layer has tiny Ci (KC-hostile).
+	kc := smallConfig()
+	kc.Dataflow = engine.KCPartition
+	yx := smallConfig()
+	yx.Dataflow = engine.YXPartition
+	dk, sk := pipeline(t, "tinyconv", 1, kc, schedule.Greedy)
+	dy, sy := pipeline(t, "tinyconv", 1, yx, schedule.Greedy)
+	rk, err := Run(dk, sk, kc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ry, err := Run(dy, sy, yx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rk.Cycles == ry.Cycles {
+		t.Error("KC and YX dataflows produced identical cycles; dataflow ignored?")
+	}
+}

@@ -1,0 +1,129 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"github.com/atomic-dataflow/atomicflow/internal/anneal"
+	"github.com/atomic-dataflow/atomicflow/internal/atom"
+	"github.com/atomic-dataflow/atomicflow/internal/graph"
+	"github.com/atomic-dataflow/atomicflow/internal/models"
+	"github.com/atomic-dataflow/atomicflow/internal/noc"
+	"github.com/atomic-dataflow/atomicflow/internal/schedule"
+	"github.com/atomic-dataflow/atomicflow/internal/sim"
+)
+
+func collect(t *testing.T, model string, batch int) (*Collector, *graph.Graph, sim.Report) {
+	t.Helper()
+	g := models.MustBuild(model)
+	cfg := sim.DefaultConfig()
+	cfg.Mesh = noc.NewMesh(2, 2, 32)
+	res := anneal.SA(g, cfg.Engine, cfg.Dataflow, anneal.Options{MaxIters: 60})
+	d, err := atom.Build(g, batch, res.Spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := schedule.Build(d, schedule.Options{
+		Engines: 4, Mode: schedule.Greedy, EngineCfg: cfg.Engine, Dataflow: cfg.Dataflow,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var c Collector
+	cfg.Trace = c.Hook
+	rep, err := sim.Run(d, s, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &c, g, rep
+}
+
+func TestCollectorCoversRun(t *testing.T) {
+	c, _, rep := collect(t, "tinyresnet", 2)
+	if len(c.Rounds) != rep.Rounds {
+		t.Fatalf("traced %d rounds, report says %d", len(c.Rounds), rep.Rounds)
+	}
+	if c.TotalCycles() != rep.Cycles {
+		t.Errorf("trace end %d != report cycles %d", c.TotalCycles(), rep.Cycles)
+	}
+	// Rounds are contiguous and ordered.
+	prev := int64(0)
+	for i, rt := range c.Rounds {
+		if rt.Round != i {
+			t.Fatalf("round index %d at position %d", rt.Round, i)
+		}
+		if rt.Start != prev {
+			t.Fatalf("round %d starts at %d, want %d", i, rt.Start, prev)
+		}
+		if rt.End < rt.Start || rt.ComputeEnd > rt.End {
+			t.Fatalf("round %d times inconsistent: %+v", i, rt)
+		}
+		prev = rt.End
+	}
+}
+
+func TestChromeExport(t *testing.T) {
+	c, g, _ := collect(t, "tinybranch", 1)
+	var buf bytes.Buffer
+	if err := c.WriteChrome(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Fatal("no events")
+	}
+	// Every compute event carries a layer name from the graph.
+	named := false
+	for _, ev := range doc.TraceEvents {
+		if name, ok := ev["name"].(string); ok && strings.Contains(name, "conv") {
+			named = true
+		}
+	}
+	if !named {
+		t.Error("no layer-named events")
+	}
+}
+
+func TestGanttExport(t *testing.T) {
+	c, g, _ := collect(t, "tinyconv", 1)
+	var buf bytes.Buffer
+	if err := c.WriteGantt(&buf, g, 5); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "round     0") {
+		t.Errorf("gantt output missing rounds:\n%s", out)
+	}
+	lines := strings.Count(out, "\n")
+	if lines > 5 {
+		t.Errorf("maxRounds not honored: %d lines", lines)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	c, _, rep := collect(t, "tinyresnet", 3)
+	st := c.Summarize(4)
+	if st.Rounds != rep.Rounds {
+		t.Errorf("Rounds = %d, want %d", st.Rounds, rep.Rounds)
+	}
+	if st.MeanOccupancy <= 0 || st.MeanOccupancy > 1 {
+		t.Errorf("occupancy = %v", st.MeanOccupancy)
+	}
+	if st.TotalCycles != rep.Cycles {
+		t.Errorf("cycles = %d, want %d", st.TotalCycles, rep.Cycles)
+	}
+	if st.MemBlockedFrac < 0 || st.MemBlockedFrac > 1 {
+		t.Errorf("blocked frac = %v", st.MemBlockedFrac)
+	}
+	empty := (&Collector{}).Summarize(4)
+	if empty.Rounds != 0 || empty.TotalCycles != 0 {
+		t.Error("empty collector non-zero stats")
+	}
+}

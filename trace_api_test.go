@@ -1,0 +1,26 @@
+package atomicflow
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTraceWriterOption(t *testing.T) {
+	g, _ := LoadModel("tinyconv")
+	hw := smallHW()
+	var sb strings.Builder
+	_, err := Orchestrate(g, Options{Hardware: &hw, TraceWriter: &sb})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "traceEvents") {
+		t.Errorf("no trace emitted: %q", sb.String()[:min(80, len(sb.String()))])
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
