@@ -31,6 +31,7 @@ import (
 	"github.com/atomic-dataflow/atomicflow/internal/anneal"
 	"github.com/atomic-dataflow/atomicflow/internal/atom"
 	"github.com/atomic-dataflow/atomicflow/internal/baseline"
+	"github.com/atomic-dataflow/atomicflow/internal/cost"
 	"github.com/atomic-dataflow/atomicflow/internal/dram"
 	"github.com/atomic-dataflow/atomicflow/internal/energy"
 	"github.com/atomic-dataflow/atomicflow/internal/engine"
@@ -74,6 +75,12 @@ type (
 	DRAMConfig = dram.Config
 	// EnergyModel holds per-event energy costs.
 	EnergyModel = energy.Model
+	// CostOracle prices atomic tasks on an engine — the Cycle() oracle of
+	// Algorithm 1. Install one in HardwareConfig.Oracle to share its cache
+	// across orchestration runs; NewCostOracle builds the standard stack.
+	CostOracle = cost.Oracle
+	// OracleStats counts cost-oracle evaluations, cache hits and misses.
+	OracleStats = cost.Stats
 )
 
 // Operator kinds.
@@ -148,6 +155,12 @@ func PaperWorkloads() []string { return append([]string(nil), models.PaperWorklo
 // 128 GB/s, 2D-mesh NoC.
 func DefaultHardware() HardwareConfig { return sim.DefaultConfig() }
 
+// NewCostOracle returns the standard instrumented memoizing cost oracle.
+// Set it as HardwareConfig.Oracle (or let Orchestrate build one per run)
+// to share one evaluation cache across searches, schedules and
+// simulations; Solution.OracleStats reports its counters.
+func NewCostOracle() CostOracle { return cost.Default() }
+
 // Options tunes Orchestrate. The zero value gives the paper's defaults on
 // the default hardware with batch 1.
 type Options struct {
@@ -199,6 +212,10 @@ type Solution struct {
 	SATrace []float64
 	// SearchTime is the compile-time cost of the full search.
 	SearchTime time.Duration
+	// OracleStats counts the cost-oracle evaluations, cache hits and
+	// misses of this orchestration (zero when the configured oracle does
+	// not expose counters).
+	OracleStats OracleStats
 
 	dag   *atom.DAG
 	sched *schedule.Schedule
@@ -215,11 +232,17 @@ func Orchestrate(g *Graph, opt Options) (*Solution, error) {
 	if err := hw.Validate(); err != nil {
 		return nil, err
 	}
+	// One oracle spans the whole pipeline: atoms priced during candidate
+	// generation are cache hits for the scheduler and the simulator.
+	if hw.Oracle == nil {
+		hw.Oracle = cost.Default()
+	}
 	start := time.Now()
 	res := anneal.SA(g, hw.Engine, hw.Dataflow, anneal.Options{
 		MaxIters:       opt.SAIters,
 		Seed:           opt.Seed,
 		MaxTilesPerLay: opt.MaxTilesPerLayer,
+		Oracle:         hw.Oracle,
 	})
 	d, err := atom.Build(g, opt.batch(), res.Spec)
 	if err != nil {
@@ -230,6 +253,7 @@ func Orchestrate(g *Graph, opt Options) (*Solution, error) {
 		Mode:      opt.Mode,
 		EngineCfg: hw.Engine,
 		Dataflow:  hw.Dataflow,
+		Oracle:    hw.Oracle,
 	})
 	if err != nil {
 		return nil, err
@@ -254,6 +278,13 @@ func Orchestrate(g *Graph, opt Options) (*Solution, error) {
 			atoms++
 		}
 	}
+	var ostats OracleStats
+	switch o := hw.Oracle.(type) {
+	case *cost.Instrumented:
+		ostats = o.Stats()
+	case *cost.Memo:
+		ostats = o.Stats()
+	}
 	return &Solution{
 		Report:      rep,
 		Atoms:       atoms,
@@ -261,6 +292,7 @@ func Orchestrate(g *Graph, opt Options) (*Solution, error) {
 		AtomCycleCV: res.FinalCV,
 		SATrace:     res.Trace,
 		SearchTime:  searchTime,
+		OracleStats: ostats,
 		dag:         d,
 		sched:       s,
 	}, nil

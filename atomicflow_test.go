@@ -204,3 +204,43 @@ func TestDataflowOption(t *testing.T) {
 		t.Error("dataflow option had no effect")
 	}
 }
+
+func TestOrchestrateOracleStats(t *testing.T) {
+	g, _ := LoadModel("resnet50")
+	sol, err := Orchestrate(g, Options{SAIters: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := sol.OracleStats
+	if st.Evaluations == 0 || st.Hits+st.Misses != st.Evaluations {
+		t.Fatalf("inconsistent oracle stats %+v", st)
+	}
+	// The SA search, the scheduler and the simulator price the same few
+	// dozen distinct tasks thousands of times; the shared cache must
+	// absorb well over half of that (acceptance: > 50% on ResNet-50).
+	if hr := st.HitRate(); hr <= 0.5 {
+		t.Errorf("end-to-end hit rate %.1f%%, want > 50%%", 100*hr)
+	}
+
+	// A caller-supplied oracle is used as-is and keeps its counts across
+	// runs (the second run starts warm).
+	orc := NewCostOracle()
+	hw := DefaultHardware()
+	hw.Oracle = orc
+	first, err := Orchestrate(g, Options{SAIters: 200, Hardware: &hw})
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := Orchestrate(g, Options{SAIters: 200, Hardware: &hw})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second.OracleStats.Evaluations <= first.OracleStats.Evaluations {
+		t.Errorf("shared oracle counts not cumulative: %d then %d",
+			first.OracleStats.Evaluations, second.OracleStats.Evaluations)
+	}
+	if second.Report.Cycles != first.Report.Cycles {
+		t.Errorf("warm cache changed the result: %d vs %d cycles",
+			second.Report.Cycles, first.Report.Cycles)
+	}
+}

@@ -11,7 +11,12 @@ package atomicflow
 import (
 	"testing"
 
+	"github.com/atomic-dataflow/atomicflow/internal/anneal"
+	"github.com/atomic-dataflow/atomicflow/internal/atom"
+	"github.com/atomic-dataflow/atomicflow/internal/cost"
+	"github.com/atomic-dataflow/atomicflow/internal/engine"
 	"github.com/atomic-dataflow/atomicflow/internal/experiments"
+	"github.com/atomic-dataflow/atomicflow/internal/graph"
 	"github.com/atomic-dataflow/atomicflow/internal/schedule"
 )
 
@@ -346,6 +351,63 @@ func BenchmarkDiscussionFlexArray(b *testing.B) {
 		ratio = rows[0].TimeMS / rows[1].TimeMS // planar / flex
 	}
 	b.ReportMetric(ratio, "planar/flex-time")
+}
+
+// benchSink keeps the compiler from eliding oracle evaluations.
+var benchSink engine.Cost
+
+// BenchmarkCostOracle compares pricing the ResNet-50 atom set through the
+// raw engine model against the memoized oracle. The atom set is what the
+// simulator evaluates every run: thousands of atoms drawn from a few dozen
+// distinct tasks, which is exactly the redundancy the cache exploits. The
+// memo variant reports the first-pass hit rate as a custom metric
+// (acceptance: well above 50% on ResNet-50).
+func BenchmarkCostOracle(b *testing.B) {
+	g, err := LoadModel("resnet50")
+	if err != nil {
+		b.Fatal(err)
+	}
+	hw := DefaultHardware()
+	res := anneal.SA(g, hw.Engine, hw.Dataflow, anneal.Options{MaxIters: 300, Seed: 1})
+	d, err := atom.Build(g, 1, res.Spec)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var tasks []engine.Task
+	for _, a := range d.Atoms {
+		if a.Task.Kind != graph.OpInput {
+			tasks = append(tasks, a.Task)
+		}
+	}
+
+	b.Run("direct", func(b *testing.B) {
+		orc := cost.Direct{}
+		for i := 0; i < b.N; i++ {
+			for _, t := range tasks {
+				benchSink = orc.Evaluate(hw.Engine, hw.Dataflow, t)
+			}
+		}
+		b.ReportMetric(float64(len(tasks)), "atoms/op")
+	})
+	b.Run("memo", func(b *testing.B) {
+		// A fresh cache for the hit-rate metric; the timed loop then
+		// reflects the steady state (everything cached after pass one).
+		fresh := cost.NewMemo(cost.Direct{})
+		for _, t := range tasks {
+			benchSink = fresh.Evaluate(hw.Engine, hw.Dataflow, t)
+		}
+		firstPass := fresh.Stats()
+
+		orc := cost.NewMemo(cost.Direct{})
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for _, t := range tasks {
+				benchSink = orc.Evaluate(hw.Engine, hw.Dataflow, t)
+			}
+		}
+		b.ReportMetric(100*firstPass.HitRate(), "%hit-rate-first-pass")
+		b.ReportMetric(float64(len(tasks)), "atoms/op")
+	})
 }
 
 // BenchmarkSearchOverhead_ResNet50 measures the compile-time search cost

@@ -18,8 +18,10 @@ import (
 	"strings"
 	"time"
 
+	"github.com/atomic-dataflow/atomicflow/internal/cost"
 	"github.com/atomic-dataflow/atomicflow/internal/experiments"
 	"github.com/atomic-dataflow/atomicflow/internal/schedule"
+	"github.com/atomic-dataflow/atomicflow/internal/trace"
 )
 
 // fastWorkloads is the reduced set used with -fast: one representative of
@@ -38,12 +40,17 @@ func main() {
 	)
 	flag.Parse()
 
+	// One instrumented memoizing oracle for the whole invocation: later
+	// experiments hit entries cached by earlier ones, and each experiment
+	// reports its own evaluations/hits/misses delta below.
+	orc := cost.Default()
 	cfg := experiments.Config{
 		Batch:   *batch,
 		SAIters: *saIters,
 		Seed:    *seed,
 		Mode:    schedule.Greedy,
 		Out:     os.Stdout,
+		Oracle:  orc,
 	}
 	if *dp {
 		cfg.Mode = schedule.DP
@@ -90,10 +97,12 @@ func main() {
 			os.Exit(1)
 		}
 		start := time.Now()
+		before := orc.Stats()
 		if err := run(cfg); err != nil {
 			fmt.Fprintf(os.Stderr, "adexp: %s: %v\n", id, err)
 			os.Exit(1)
 		}
+		trace.WriteOracleStats(os.Stdout, id, orc.Stats().Sub(before))
 		fmt.Printf("  [%s done in %v]\n\n", id, time.Since(start).Round(time.Millisecond))
 	}
 }

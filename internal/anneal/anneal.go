@@ -3,8 +3,12 @@ package anneal
 import (
 	"math"
 	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
 
 	"github.com/atomic-dataflow/atomicflow/internal/atom"
+	"github.com/atomic-dataflow/atomicflow/internal/cost"
 	"github.com/atomic-dataflow/atomicflow/internal/engine"
 	"github.com/atomic-dataflow/atomicflow/internal/graph"
 )
@@ -15,12 +19,17 @@ type Options struct {
 	MaxIters       int     // ite_max (default 600)
 	Len            float64 // movement length as a fraction of the state (default 0.25)
 	Epsilon        float64 // convergence threshold on CV^2 = Var/Mean^2 (default 0.01)
-	Temp           float64 // initial temperature (default 1.0)
+	Temp           float64 // initial temperature (default 0.1)
 	Lambda         float64 // temperature decay per iteration (default 0.98)
 	Seed           int64   // RNG seed (default 1)
 	MaxTilesPerLay int     // atom-count cap per layer (default 1024)
 	MaxSplits      int     // candidate extents per dimension (default 10)
 	BufferFraction float64 // usable fraction of the engine buffer (default 0.5, rest for double buffering)
+
+	// Oracle prices candidate atoms (default: a fresh memoized oracle per
+	// search). Pass the run's shared oracle so candidate generation reuses
+	// evaluations cached by scheduling and simulation of the same workload.
+	Oracle cost.Oracle
 }
 
 func (o Options) maxIters() int {
@@ -93,9 +102,13 @@ type Result struct {
 	cands       map[int]layerCands
 }
 
-// state is one assignment of candidate indices to compute layers.
+// state is one assignment of candidate indices to compute layers, stored
+// densely in search.all order (participating layers first, stragglers
+// after). The dense form keeps the SA/GA inner loops (mean/variance over
+// every layer, recomputed per iteration and per sort comparison) free of
+// map lookups.
 type state struct {
-	choice map[int]int // layerID -> candidate index
+	choice []int // search.all index -> candidate index
 }
 
 // SA runs the simulated-annealing search of Algorithm 1 and returns the
@@ -167,9 +180,16 @@ type search struct {
 	cfg   engine.Config
 	df    engine.Dataflow
 	opt   Options
+	orc   cost.Oracle
 	cands map[int]layerCands
 	order []int   // compute layer IDs participating in the energy
 	scale float64 // energy normalization for the acceptance test
+
+	// Dense mirrors of the candidate lists for the search inner loops:
+	// all is order followed by stragglers; lcAt[i] is all[i]'s candidates.
+	all    []int
+	lcAt   []layerCands
+	nOrder int // first nOrder entries of all participate in the energy
 
 	// stragglers are layers whose minimum achievable atom cycle is far
 	// above the typical layer's (e.g. a weight-bound FC whose coarsest
@@ -181,12 +201,22 @@ type search struct {
 }
 
 func newSearch(g *graph.Graph, cfg engine.Config, df engine.Dataflow, opt Options) *search {
-	s := &search{g: g, cfg: cfg, df: df, opt: opt, cands: make(map[int]layerCands)}
+	s := &search{g: g, cfg: cfg, df: df, opt: opt,
+		orc: cost.Or(opt.Oracle), cands: make(map[int]layerCands)}
+	// Candidate generation is embarrassingly parallel per layer:
+	// genCandidates is a pure function of (layer, cfg, df, opt), so the
+	// worker pool changes nothing about the candidate lists — and therefore
+	// nothing about the seeded SA/GA trajectory — only the wall-clock.
+	ids := g.ComputeLayers()
+	built := make([]layerCands, len(ids))
+	parallelFor(len(ids), func(i int) {
+		l := g.Layer(ids[i])
+		built[i] = layerCands{layer: l, cands: genCandidates(l, cfg, df, opt, s.orc)}
+	})
 	var all []int
 	var mins []int64
-	for _, lid := range g.ComputeLayers() {
-		l := g.Layer(lid)
-		s.cands[lid] = layerCands{layer: l, cands: genCandidates(l, cfg, df, opt)}
+	for i, lid := range ids {
+		s.cands[lid] = built[i]
 		all = append(all, lid)
 		mins = append(mins, s.cands[lid].cands[0].cycles)
 	}
@@ -200,6 +230,12 @@ func newSearch(g *graph.Graph, cfg engine.Config, df engine.Dataflow, opt Option
 	}
 	if len(s.order) == 0 { // degenerate graph: keep everything
 		s.order, s.stragglers = all, nil
+	}
+	s.nOrder = len(s.order)
+	s.all = append(append(make([]int, 0, len(all)), s.order...), s.stragglers...)
+	s.lcAt = make([]layerCands, len(s.all))
+	for i, lid := range s.all {
+		s.lcAt[i] = s.cands[lid]
 	}
 	// Normalize acceptance energies by the square of a typical cycle
 	// count so temperature is scale-free across workloads.
@@ -221,13 +257,11 @@ func newSearch(g *graph.Graph, cfg engine.Config, df engine.Dataflow, opt Option
 }
 
 func (s *search) randomState(rng *rand.Rand) state {
-	st := state{choice: make(map[int]int, len(s.cands))}
-	for _, lid := range s.order {
-		st.choice[lid] = rng.Intn(len(s.cands[lid].cands))
+	st := state{choice: make([]int, len(s.all))}
+	for i := 0; i < s.nOrder; i++ {
+		st.choice[i] = rng.Intn(len(s.lcAt[i].cands))
 	}
-	for _, lid := range s.stragglers {
-		st.choice[lid] = 0 // minimum-cycle candidate
-	}
+	// Stragglers keep the zero value: the minimum-cycle candidate.
 	return st
 }
 
@@ -235,14 +269,9 @@ func (s *search) randomState(rng *rand.Rand) state {
 // (Algorithm 1 line 13). Stragglers participate too: with the target
 // below their floor this selects their minimum-cycle candidate.
 func (s *search) argmin(target float64) state {
-	st := state{choice: make(map[int]int, len(s.cands))}
-	for _, lid := range s.order {
-		lc := s.cands[lid]
-		st.choice[lid] = lc.pick(int64(target))
-	}
-	for _, lid := range s.stragglers {
-		lc := s.cands[lid]
-		st.choice[lid] = lc.pick(int64(target))
+	st := state{choice: make([]int, len(s.all))}
+	for i := range s.all {
+		st.choice[i] = s.lcAt[i].pick(int64(target))
 	}
 	return st
 }
@@ -272,27 +301,27 @@ func sortInt64(xs []int64) {
 // population).
 func (s *search) mean(st state) float64 {
 	var sum float64
-	for _, lid := range s.order {
-		sum += float64(s.cands[lid].cands[st.choice[lid]].cycles)
+	for i := 0; i < s.nOrder; i++ {
+		sum += float64(s.lcAt[i].cands[st.choice[i]].cycles)
 	}
-	if len(s.order) == 0 {
+	if s.nOrder == 0 {
 		return 0
 	}
-	return sum / float64(len(s.order))
+	return sum / float64(s.nOrder)
 }
 
 // variance returns the variance of per-layer atom execution cycles — the
 // system energy of Algorithm 1.
 func (s *search) variance(st state, mean float64) float64 {
 	var sum float64
-	for _, lid := range s.order {
-		d := float64(s.cands[lid].cands[st.choice[lid]].cycles) - mean
+	for i := 0; i < s.nOrder; i++ {
+		d := float64(s.lcAt[i].cands[st.choice[i]].cycles) - mean
 		sum += d * d
 	}
-	if len(s.order) == 0 {
+	if s.nOrder == 0 {
 		return 0
 	}
-	return sum / float64(len(s.order))
+	return sum / float64(s.nOrder)
 }
 
 // finish assembles the Result: compute-layer partitions from the chosen
@@ -314,12 +343,12 @@ func (s *search) finish(st state, E, S float64, trace []float64, iters int) Resu
 	if S > 0 {
 		res.FinalCV = math.Sqrt(E) / S
 	}
-	for lid, choice := range st.choice {
-		c := s.cands[lid].cands[choice]
+	for i, lid := range s.all {
+		c := s.lcAt[i].cands[st.choice[i]]
 		res.Spec[lid] = c.part
 		res.LayerCycles[lid] = c.cycles
 		res.LayerUtil[lid] = c.util
-		res.Candidates[lid] = len(s.cands[lid].cands)
+		res.Candidates[lid] = len(s.lcAt[i].cands)
 	}
 	// Vector-unit layers (pool/eltwise/global-pool): tile along H (and C)
 	// so one atom's vector time is at most the unified cycle S.
@@ -327,16 +356,16 @@ func (s *search) finish(st state, E, S float64, trace []float64, iters int) Resu
 		if l.Kind.IsCompute() || l.Kind == graph.OpConcat || l.Kind == graph.OpInput {
 			continue
 		}
-		res.Spec[l.ID] = vectorPartition(l, s.cfg, S, s.opt.maxTiles())
+		res.Spec[l.ID] = vectorPartition(l, s.cfg, S, s.opt.maxTiles(), s.orc)
 	}
 	return res
 }
 
 // vectorPartition sizes a vector-unit layer's atoms so each takes at most
 // targetCycles on the vector unit, splitting along H first, then C.
-func vectorPartition(l *graph.Layer, cfg engine.Config, targetCycles float64, maxTiles int) atom.Partition {
+func vectorPartition(l *graph.Layer, cfg engine.Config, targetCycles float64, maxTiles int, orc cost.Oracle) atom.Partition {
 	sh := l.Shape
-	whole := engine.Evaluate(cfg, engine.KCPartition, engine.TaskFromLayer(l))
+	whole := orc.Evaluate(cfg, engine.KCPartition, engine.TaskFromLayer(l))
 	if targetCycles < 1 {
 		targetCycles = 1
 	}
@@ -366,4 +395,36 @@ func ceilDiv(a, b int) int {
 		return a
 	}
 	return (a + b - 1) / b
+}
+
+// parallelFor runs fn(0..n-1) on a bounded worker pool and waits for all.
+// Callers write results into index i of a pre-sized slice, so output
+// ordering is deterministic regardless of execution order.
+func parallelFor(n int, fn func(int)) {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
 }

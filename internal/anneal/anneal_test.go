@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"github.com/atomic-dataflow/atomicflow/internal/atom"
+	"github.com/atomic-dataflow/atomicflow/internal/cost"
 	"github.com/atomic-dataflow/atomicflow/internal/engine"
 	"github.com/atomic-dataflow/atomicflow/internal/graph"
 	"github.com/atomic-dataflow/atomicflow/internal/models"
@@ -50,7 +51,7 @@ func TestGenCandidatesQuantization(t *testing.T) {
 	g := models.TinyConv()
 	l := g.Layer(3) // 16x16x32 conv
 	cfg := engine.Default()
-	cands := genCandidates(l, cfg, engine.KCPartition, Options{})
+	cands := genCandidates(l, cfg, engine.KCPartition, Options{}, cost.Direct{})
 	if len(cands) == 0 {
 		t.Fatal("no candidates")
 	}
@@ -84,7 +85,7 @@ func TestGenCandidatesBufferConstraint(t *testing.T) {
 	opt := Options{}
 	budget := int64(float64(cfg.BufferBytes) * opt.bufferFraction())
 	window := int64(4 * cfg.PEx * cfg.PEy * fc.Shape.Kh * fc.Shape.Kw)
-	cands := genCandidates(fc, cfg, engine.KCPartition, opt)
+	cands := genCandidates(fc, cfg, engine.KCPartition, opt, cost.Direct{})
 	for _, c := range cands {
 		tk := engine.Task{Kind: fc.Kind, Hp: c.part.Hp, Wp: c.part.Wp,
 			Ci: fc.Shape.Ci, Cop: c.part.Cop, Kh: 1, Kw: 1, Stride: 1}
@@ -248,7 +249,7 @@ func TestVectorPartitionBounds(t *testing.T) {
 			add = l
 		}
 	}
-	p := vectorPartition(add, cfg, 100, 1024)
+	p := vectorPartition(add, cfg, 100, 1024, cost.Direct{})
 	if p.Hp < 1 || p.Wp < 1 || p.Cop < 1 {
 		t.Errorf("invalid vector partition %+v", p)
 	}
@@ -267,4 +268,102 @@ func meanVar(xs []float64) (mean, variance float64) {
 	}
 	variance /= float64(len(xs))
 	return
+}
+
+func TestOptionsDefaults(t *testing.T) {
+	// The zero Options must resolve to the documented defaults. Temp in
+	// particular is pinned: raising it to the often-assumed 1.0 would
+	// change every seeded SA trajectory in the repository.
+	var o Options
+	if got := o.temp(); got != 0.1 {
+		t.Errorf("temp() = %v, want 0.1", got)
+	}
+	if got := o.maxIters(); got != 600 {
+		t.Errorf("maxIters() = %v, want 600", got)
+	}
+	if got := o.lenFrac(); got != 0.25 {
+		t.Errorf("lenFrac() = %v, want 0.25", got)
+	}
+	if got := o.epsilon(); got != 0.01 {
+		t.Errorf("epsilon() = %v, want 0.01", got)
+	}
+	if got := o.lambda(); got != 0.98 {
+		t.Errorf("lambda() = %v, want 0.98", got)
+	}
+	if got := o.seed(); got != 1 {
+		t.Errorf("seed() = %v, want 1", got)
+	}
+	if got := o.maxTiles(); got != 1024 {
+		t.Errorf("maxTiles() = %v, want 1024", got)
+	}
+	if got := o.maxSplits(); got != 10 {
+		t.Errorf("maxSplits() = %v, want 10", got)
+	}
+	if got := o.bufferFraction(); got != 0.5 {
+		t.Errorf("bufferFraction() = %v, want 0.5", got)
+	}
+}
+
+func TestSADeterministicAcrossOracles(t *testing.T) {
+	// Memoization must be invisible to the search: the same seed yields
+	// bit-identical results whether atoms are priced directly, through a
+	// fresh memo (the nil default), or through the full instrumented
+	// stack. Run with -race this also exercises the parallel candidate
+	// generation against each oracle kind.
+	g := models.MustBuild("tinyresnet")
+	cfg := engine.Default()
+	base := Options{MaxIters: 120, Seed: 42}
+
+	oracles := map[string]cost.Oracle{
+		"nil":          nil,
+		"direct":       cost.Direct{},
+		"memo":         cost.NewMemo(cost.Direct{}),
+		"instrumented": cost.Default(),
+	}
+	var want *Result
+	for name, orc := range oracles {
+		opt := base
+		opt.Oracle = orc
+		res := SA(g, cfg, engine.KCPartition, opt)
+		if want == nil {
+			w := res
+			want = &w
+			continue
+		}
+		if res.FinalVar != want.FinalVar || res.Iters != want.Iters ||
+			res.MeanCycle != want.MeanCycle || res.FinalCV != want.FinalCV {
+			t.Errorf("%s oracle diverged: Var %v/%v iters %d/%d",
+				name, res.FinalVar, want.FinalVar, res.Iters, want.Iters)
+		}
+		if len(res.Trace) != len(want.Trace) {
+			t.Fatalf("%s oracle trace length %d, want %d", name, len(res.Trace), len(want.Trace))
+		}
+		for i := range res.Trace {
+			if res.Trace[i] != want.Trace[i] {
+				t.Fatalf("%s oracle trace[%d] = %v, want %v", name, i, res.Trace[i], want.Trace[i])
+			}
+		}
+		for lid, p := range want.Spec {
+			if res.Spec[lid] != p {
+				t.Errorf("%s oracle layer %d spec %+v, want %+v", name, lid, res.Spec[lid], p)
+			}
+		}
+	}
+}
+
+func TestSAOracleHitRate(t *testing.T) {
+	// Atoms of one layer partition are identical tasks, and SA revisits
+	// partitions across iterations, so a memoized oracle must serve well
+	// over half the evaluations from cache on a real workload.
+	g := models.MustBuild("resnet50")
+	orc := cost.NewMemo(cost.Direct{})
+	SA(g, engine.Default(), engine.KCPartition,
+		Options{MaxIters: 300, Seed: 1, Oracle: orc})
+	st := orc.Stats()
+	if st.Evaluations == 0 {
+		t.Fatal("oracle saw no evaluations")
+	}
+	if hr := st.HitRate(); hr <= 0.5 {
+		t.Errorf("SA hit rate %.1f%% on resnet50, want > 50%%", 100*hr)
+	}
 }

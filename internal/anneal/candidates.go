@@ -12,6 +12,7 @@ import (
 	"sort"
 
 	"github.com/atomic-dataflow/atomicflow/internal/atom"
+	"github.com/atomic-dataflow/atomicflow/internal/cost"
 	"github.com/atomic-dataflow/atomicflow/internal/engine"
 	"github.com/atomic-dataflow/atomicflow/internal/graph"
 )
@@ -91,7 +92,7 @@ func absDiff(a, b int64) int64 {
 // candidates whose working set cannot fit in the usable buffer fraction
 // are discarded, and tile counts are capped to keep the atomic DAG
 // tractable.
-func genCandidates(l *graph.Layer, cfg engine.Config, df engine.Dataflow, opt Options) []candidate {
+func genCandidates(l *graph.Layer, cfg engine.Config, df engine.Dataflow, opt Options, orc cost.Oracle) []candidate {
 	s := l.Shape
 	var hs, ws, cs []int
 	// Channel extents always quantize to at least the column width even
@@ -150,7 +151,7 @@ func genCandidates(l *graph.Layer, cfg engine.Config, df engine.Dataflow, opt Op
 				if inputWindow(t)+t.OutputBytes()+w > budget {
 					continue
 				}
-				c := engine.Evaluate(cfg, df, t)
+				c := orc.Evaluate(cfg, df, t)
 				cands = append(cands, candidate{part: p, cycles: c.Cycles, util: c.Utilization, tiles: tiles})
 			}
 		}
@@ -205,7 +206,7 @@ func genCandidates(l *graph.Layer, cfg engine.Config, df engine.Dataflow, opt Op
 		if l.Kind == graph.OpDepthwiseConv {
 			t.Ci = 1
 		}
-		c := engine.Evaluate(cfg, df, t)
+		c := orc.Evaluate(cfg, df, t)
 		cands = append(cands, candidate{part: p, cycles: c.Cycles, util: c.Utilization, tiles: p.Tiles(l)})
 	}
 	sort.Slice(cands, func(i, j int) bool { return cands[i].cycles < cands[j].cycles })

@@ -87,11 +87,7 @@ func GA(g *graph.Graph, cfg engine.Config, df engine.Dataflow, opt GAOptions) Re
 }
 
 func cloneState(st state) state {
-	c := state{choice: make(map[int]int, len(st.choice))}
-	for k, v := range st.choice {
-		c.choice[k] = v
-	}
-	return c
+	return state{choice: append([]int(nil), st.choice...)}
 }
 
 func tournament(pop []state, energy func(state) float64, rng *rand.Rand) state {
@@ -104,21 +100,23 @@ func tournament(pop []state, energy func(state) float64, rng *rand.Rand) state {
 }
 
 func crossover(s *search, a, b state, rng *rand.Rand) state {
-	c := state{choice: make(map[int]int, len(s.order))}
-	for _, lid := range s.order {
+	// Straggler genes keep the zero value (their minimum-cycle candidate);
+	// only energy-participating layers cross over, as in the SA moves.
+	c := state{choice: make([]int, len(s.all))}
+	for i := 0; i < s.nOrder; i++ {
 		if rng.Intn(2) == 0 {
-			c.choice[lid] = a.choice[lid]
+			c.choice[i] = a.choice[i]
 		} else {
-			c.choice[lid] = b.choice[lid]
+			c.choice[i] = b.choice[i]
 		}
 	}
 	return c
 }
 
 func mutate(s *search, st state, rng *rand.Rand, prob float64) {
-	for _, lid := range s.order {
+	for i := 0; i < s.nOrder; i++ {
 		if rng.Float64() < prob {
-			st.choice[lid] = rng.Intn(len(s.cands[lid].cands))
+			st.choice[i] = rng.Intn(len(s.lcAt[i].cands))
 		}
 	}
 }

@@ -24,6 +24,7 @@ package baseline
 
 import (
 	"github.com/atomic-dataflow/atomicflow/internal/atom"
+	"github.com/atomic-dataflow/atomicflow/internal/cost"
 	"github.com/atomic-dataflow/atomicflow/internal/engine"
 	"github.com/atomic-dataflow/atomicflow/internal/graph"
 )
@@ -69,14 +70,14 @@ func evenSpec(g *graph.Graph, n int) (atom.Spec, map[int]int) {
 
 // layerEngineCycles prices one layer evenly split across n engines:
 // the slowest tile's cycles (tiles run concurrently, one wave).
-func layerEngineCycles(l *graph.Layer, cfg engine.Config, df engine.Dataflow, n int) int64 {
+func layerEngineCycles(orc cost.Oracle, l *graph.Layer, cfg engine.Config, df engine.Dataflow, n int) int64 {
 	p, tiles := evenSplit(l, n)
 	t := engine.Task{Kind: l.Kind, Hp: p.Hp, Wp: p.Wp, Ci: l.Shape.Ci, Cop: p.Cop,
 		Kh: l.Shape.Kh, Kw: l.Shape.Kw, Stride: l.Shape.Stride}
 	if l.Kind == graph.OpDepthwiseConv {
 		t.Ci = 1
 	}
-	c := engine.Evaluate(cfg, df, t)
+	c := orc.Evaluate(cfg, df, t)
 	waves := ceilDiv(tiles, n)
 	return c.Cycles * int64(waves)
 }

@@ -109,7 +109,7 @@ func TestLayerUtilizationRange(t *testing.T) {
 	cfg := engine.Default()
 	for _, name := range models.Fig2Workloads {
 		g := models.MustBuild(name)
-		perLayer, avg := LayerUtilization(g, cfg, engine.KCPartition, 64)
+		perLayer, avg := LayerUtilization(nil, g, cfg, engine.KCPartition, 64)
 		if len(perLayer) != len(g.ComputeLayers()) {
 			t.Fatalf("%s: %d utils for %d layers", name, len(perLayer), len(g.ComputeLayers()))
 		}

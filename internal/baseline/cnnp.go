@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 
+	"github.com/atomic-dataflow/atomicflow/internal/cost"
 	"github.com/atomic-dataflow/atomicflow/internal/graph"
 	"github.com/atomic-dataflow/atomicflow/internal/sim"
 )
@@ -80,10 +81,11 @@ type layerTime struct {
 }
 
 func priceLayers(units []*graph.Layer, cfg sim.Config, m int) []layerTime {
+	orc := cost.Or(cfg.Oracle)
 	out := make([]layerTime, len(units))
 	for i, l := range units {
 		lt := layerTime{
-			compute:   layerEngineCycles(l, cfg.Engine, cfg.Dataflow, m),
+			compute:   layerEngineCycles(orc, l, cfg.Engine, cfg.Dataflow, m),
 			dramBytes: l.InputBytes() + l.WeightBytes() + l.OutputBytes(),
 			macs:      l.MACs(),
 		}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 
+	"github.com/atomic-dataflow/atomicflow/internal/cost"
 	"github.com/atomic-dataflow/atomicflow/internal/graph"
 	"github.com/atomic-dataflow/atomicflow/internal/sim"
 )
@@ -62,6 +63,7 @@ func ilPipeWithStages(units []*graph.Layer, batch int, cfg sim.Config, s int) si
 		macs     int64
 		interOut int64 // ofmap bytes forwarded to next stage
 	}
+	orc := cost.Or(cfg.Oracle)
 	stages := make([]stageCost, s)
 	for j := 0; j < s; j++ {
 		m := alloc[j]
@@ -69,7 +71,7 @@ func ilPipeWithStages(units []*graph.Layer, batch int, cfg sim.Config, s int) si
 		var weightBytes int64
 		for i := bounds[j]; i < bounds[j+1]; i++ {
 			l := units[i]
-			sc.compute += layerEngineCycles(l, cfg.Engine, cfg.Dataflow, m)
+			sc.compute += layerEngineCycles(orc, l, cfg.Engine, cfg.Dataflow, m)
 			sc.macs += l.MACs()
 			weightBytes += l.WeightBytes()
 			// Spatial splitting within the stage region means each of

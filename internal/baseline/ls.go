@@ -4,6 +4,7 @@ import (
 	"sort"
 
 	"github.com/atomic-dataflow/atomicflow/internal/atom"
+	"github.com/atomic-dataflow/atomicflow/internal/cost"
 	"github.com/atomic-dataflow/atomicflow/internal/engine"
 	"github.com/atomic-dataflow/atomicflow/internal/graph"
 	"github.com/atomic-dataflow/atomicflow/internal/schedule"
@@ -56,7 +57,7 @@ func LSSchedule(g *graph.Graph, batch int, cfg sim.Config) (*atom.DAG, *schedule
 		}
 	}
 	s, err := schedule.FromRounds(d, rounds, schedule.Options{
-		Engines: n, EngineCfg: cfg.Engine, Dataflow: cfg.Dataflow,
+		Engines: n, EngineCfg: cfg.Engine, Dataflow: cfg.Dataflow, Oracle: cfg.Oracle,
 	})
 	if err != nil {
 		return nil, nil, err
@@ -68,7 +69,8 @@ func LSSchedule(g *graph.Graph, batch int, cfg sim.Config) (*atom.DAG, *schedule
 // strategy (each layer evenly partitioned across all engines, batch 1,
 // communication excluded) — the quantity plotted in the paper's Fig. 2 —
 // and its layer-averaged mean over compute layers.
-func LayerUtilization(g *graph.Graph, cfg engine.Config, df engine.Dataflow, n int) (perLayer []float64, avg float64) {
+func LayerUtilization(orc cost.Oracle, g *graph.Graph, cfg engine.Config, df engine.Dataflow, n int) (perLayer []float64, avg float64) {
+	orc = cost.Or(orc)
 	ids := g.ComputeLayers()
 	perLayer = make([]float64, 0, len(ids))
 	for _, lid := range ids {
@@ -79,7 +81,7 @@ func LayerUtilization(g *graph.Graph, cfg engine.Config, df engine.Dataflow, n i
 		if l.Kind == graph.OpDepthwiseConv {
 			t.Ci = 1
 		}
-		c := engine.Evaluate(cfg, df, t)
+		c := orc.Evaluate(cfg, df, t)
 		// Engine-level utilization of the slowest wave, discounted by the
 		// fraction of engines the layer occupies at all.
 		occupancy := float64(minInt(tiles, n)) / float64(n)

@@ -25,7 +25,7 @@ func Rammer(g *graph.Graph, batch int, cfg sim.Config) (sim.Report, error) {
 	}
 	s, err := schedule.Build(d, schedule.Options{
 		Engines: n, Mode: schedule.Greedy,
-		EngineCfg: cfg.Engine, Dataflow: cfg.Dataflow,
+		EngineCfg: cfg.Engine, Dataflow: cfg.Dataflow, Oracle: cfg.Oracle,
 	})
 	if err != nil {
 		return sim.Report{}, err

@@ -1,0 +1,156 @@
+package cost
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"github.com/atomic-dataflow/atomicflow/internal/engine"
+	"github.com/atomic-dataflow/atomicflow/internal/graph"
+)
+
+// randTask draws a random but well-formed engine task.
+func randTask(rng *rand.Rand) engine.Task {
+	kinds := []graph.OpKind{
+		graph.OpConv, graph.OpDepthwiseConv, graph.OpFC,
+		graph.OpPool, graph.OpEltwise, graph.OpActivation, graph.OpGlobalPool,
+	}
+	t := engine.Task{
+		Kind:     kinds[rng.Intn(len(kinds))],
+		Hp:       1 + rng.Intn(64),
+		Wp:       1 + rng.Intn(64),
+		Ci:       1 + rng.Intn(256),
+		Cop:      1 + rng.Intn(256),
+		Kh:       1 + rng.Intn(3),
+		Kw:       1 + rng.Intn(3),
+		Stride:   1 + rng.Intn(2),
+		Replicas: rng.Intn(4),
+	}
+	if t.Kind == graph.OpFC {
+		t.Hp, t.Wp, t.Kh, t.Kw, t.Stride = 1, 1, 1, 1, 1
+	}
+	return t
+}
+
+// TestMemoMatchesDirect is the cache-correctness property: for randomized
+// tasks across every dataflow, the memoized oracle returns a Cost
+// byte-identical to direct engine.Evaluate — both on the miss that fills
+// the cache and on the hit that reads it back.
+func TestMemoMatchesDirect(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	memo := NewMemo(Direct{})
+	variants := []struct {
+		cfg engine.Config
+		df  engine.Dataflow
+	}{
+		{engine.Default(), engine.KCPartition},
+		{engine.Default(), engine.YXPartition},
+		{engine.FlexDefault(), engine.FlexPartition},
+	}
+	for i := 0; i < 3000; i++ {
+		v := variants[rng.Intn(len(variants))]
+		task := randTask(rng)
+		want := engine.Evaluate(v.cfg, v.df, task)
+		if got := memo.Evaluate(v.cfg, v.df, task); got != want {
+			t.Fatalf("miss path: memo = %+v, direct = %+v (task %+v, df %v)",
+				got, want, task, v.df)
+		}
+		if got := memo.Evaluate(v.cfg, v.df, task); got != want {
+			t.Fatalf("hit path: memo = %+v, direct = %+v (task %+v, df %v)",
+				got, want, task, v.df)
+		}
+	}
+	st := memo.Stats()
+	if st.Hits < 3000 {
+		t.Errorf("hits = %d, want >= 3000 (every task re-evaluated once)", st.Hits)
+	}
+	if st.Evaluations != st.Hits+st.Misses {
+		t.Errorf("stats inconsistent: %+v", st)
+	}
+}
+
+// TestMemoConcurrent hammers one memo from many goroutines over an
+// overlapping task set; run under -race this checks the striped locking,
+// and every result must still equal the direct evaluation.
+func TestMemoConcurrent(t *testing.T) {
+	cfg := engine.Default()
+	tasks := make([]engine.Task, 200)
+	rng := rand.New(rand.NewSource(11))
+	for i := range tasks {
+		tasks[i] = randTask(rng)
+	}
+	memo := NewMemo(Direct{})
+	var wg sync.WaitGroup
+	errs := make(chan string, 8)
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			r := rand.New(rand.NewSource(seed))
+			for i := 0; i < 2000; i++ {
+				task := tasks[r.Intn(len(tasks))]
+				df := engine.Dataflow(r.Intn(2)) // KC-P or YX-P
+				got := memo.Evaluate(cfg, df, task)
+				if want := engine.Evaluate(cfg, df, task); got != want {
+					select {
+					case errs <- "memo diverged from direct under concurrency":
+					default:
+					}
+					return
+				}
+			}
+		}(int64(w))
+	}
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Fatal(e)
+	}
+	st := memo.Stats()
+	if st.Evaluations != 8*2000 {
+		t.Errorf("evaluations = %d, want %d", st.Evaluations, 8*2000)
+	}
+	if st.Misses > int64(len(tasks)*2) {
+		t.Errorf("misses = %d, want <= %d (one per unique key, modulo benign races)",
+			st.Misses, len(tasks)*2)
+	}
+	if memo.Len() > len(tasks)*2 {
+		t.Errorf("cache holds %d entries for %d unique keys", memo.Len(), len(tasks)*2)
+	}
+}
+
+// TestInstrumentedStats checks the full Default() stack reports the
+// evaluations/hits/misses triple and the Sub/HitRate helpers.
+func TestInstrumentedStats(t *testing.T) {
+	orc := Default()
+	cfg := engine.Default()
+	task := engine.Task{Kind: graph.OpConv, Hp: 8, Wp: 8, Ci: 16, Cop: 16, Kh: 3, Kw: 3, Stride: 1}
+	for i := 0; i < 10; i++ {
+		orc.Evaluate(cfg, engine.KCPartition, task)
+	}
+	st := orc.Stats()
+	if st.Evaluations != 10 || st.Misses != 1 || st.Hits != 9 {
+		t.Fatalf("stats = %+v, want 10 evaluations, 9 hits, 1 miss", st)
+	}
+	if got := st.HitRate(); got != 0.9 {
+		t.Errorf("hit rate = %v, want 0.9", got)
+	}
+	prev := st
+	orc.Evaluate(cfg, engine.YXPartition, task)
+	d := orc.Stats().Sub(prev)
+	if d.Evaluations != 1 || d.Misses != 1 || d.Hits != 0 {
+		t.Errorf("delta = %+v, want 1 evaluation / 1 miss", d)
+	}
+}
+
+// TestOrResolution pins the nil-oracle default: consumers get a fresh
+// memoized oracle, and a provided oracle passes through unchanged.
+func TestOrResolution(t *testing.T) {
+	if _, ok := Or(nil).(*Memo); !ok {
+		t.Errorf("Or(nil) = %T, want *Memo", Or(nil))
+	}
+	d := Direct{}
+	if got := Or(d); got != Oracle(d) {
+		t.Errorf("Or(Direct{}) did not pass through")
+	}
+}

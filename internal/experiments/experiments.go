@@ -17,6 +17,7 @@ import (
 
 	"github.com/atomic-dataflow/atomicflow/internal/anneal"
 	"github.com/atomic-dataflow/atomicflow/internal/atom"
+	"github.com/atomic-dataflow/atomicflow/internal/cost"
 	"github.com/atomic-dataflow/atomicflow/internal/engine"
 	"github.com/atomic-dataflow/atomicflow/internal/graph"
 	"github.com/atomic-dataflow/atomicflow/internal/models"
@@ -43,13 +44,26 @@ type Config struct {
 	Mode schedule.Mode
 	// Out receives the printed rows (nil = discard).
 	Out io.Writer
+	// Oracle prices atoms across the whole experiment run (default: a
+	// fresh memoized oracle per experiment). cmd/adexp passes one
+	// instrumented oracle for the entire invocation and prints its
+	// evaluations/hits/misses per experiment.
+	Oracle cost.Oracle
 }
 
+// hw assembles the hardware model with the run's cost oracle installed.
+// When neither HW.Oracle nor Oracle is set, each experiment gets its own
+// memoized oracle — the cache still spans every stage and workload of that
+// experiment because hw() is called once per Fig*/Table* function.
 func (c Config) hw() sim.Config {
+	hw := sim.DefaultConfig()
 	if c.HW != nil {
-		return *c.HW
+		hw = *c.HW
 	}
-	return sim.DefaultConfig()
+	if hw.Oracle == nil {
+		hw.Oracle = cost.Or(c.Oracle)
+	}
+	return hw
 }
 
 func (c Config) workloads(def []string) []string {
@@ -100,16 +114,19 @@ type adPipeline struct {
 	sched *schedule.Schedule
 }
 
-// buildAD runs SA + DAG + scheduling for a workload.
+// buildAD runs SA + DAG + scheduling for a workload. The hardware model's
+// oracle is threaded through every stage, so candidate generation,
+// scheduling and the later simulation share one cache.
 func buildAD(g *graph.Graph, batch int, hw sim.Config, mode schedule.Mode, saIters int, seed int64) (*adPipeline, error) {
-	sa := anneal.SA(g, hw.Engine, hw.Dataflow, anneal.Options{MaxIters: saIters, Seed: seed})
+	sa := anneal.SA(g, hw.Engine, hw.Dataflow, anneal.Options{
+		MaxIters: saIters, Seed: seed, Oracle: hw.Oracle})
 	d, err := atom.Build(g, batch, sa.Spec)
 	if err != nil {
 		return nil, err
 	}
 	s, err := schedule.Build(d, schedule.Options{
 		Engines: hw.Mesh.Engines(), Mode: mode,
-		EngineCfg: hw.Engine, Dataflow: hw.Dataflow,
+		EngineCfg: hw.Engine, Dataflow: hw.Dataflow, Oracle: hw.Oracle,
 	})
 	if err != nil {
 		return nil, err
@@ -119,14 +136,15 @@ func buildAD(g *graph.Graph, batch int, hw sim.Config, mode schedule.Mode, saIte
 
 // buildADWithLookahead is buildAD forcing DP mode at an explicit depth.
 func buildADWithLookahead(g *graph.Graph, batch int, hw sim.Config, saIters int, seed int64, lookahead int) (*adPipeline, error) {
-	sa := anneal.SA(g, hw.Engine, hw.Dataflow, anneal.Options{MaxIters: saIters, Seed: seed})
+	sa := anneal.SA(g, hw.Engine, hw.Dataflow, anneal.Options{
+		MaxIters: saIters, Seed: seed, Oracle: hw.Oracle})
 	d, err := atom.Build(g, batch, sa.Spec)
 	if err != nil {
 		return nil, err
 	}
 	s, err := schedule.Build(d, schedule.Options{
 		Engines: hw.Mesh.Engines(), Mode: schedule.DP, Lookahead: lookahead,
-		EngineCfg: hw.Engine, Dataflow: hw.Dataflow,
+		EngineCfg: hw.Engine, Dataflow: hw.Dataflow, Oracle: hw.Oracle,
 	})
 	if err != nil {
 		return nil, err

@@ -26,13 +26,16 @@ type Fig2Row struct {
 // Inception-v3 17.48%, NasNet 18.34%, EfficientNet 13.53%).
 func Fig2(cfg Config) ([]Fig2Row, error) {
 	hw := cfg.hw()
-	var rows []Fig2Row
+	names := cfg.workloads(models.Fig2Workloads)
+	rows := make([]Fig2Row, len(names))
+	forEach(len(names), func(i int) {
+		g := mustModel(names[i])
+		perLayer, avg := baseline.LayerUtilization(hw.Oracle, g, hw.Engine, hw.Dataflow, hw.Mesh.Engines())
+		rows[i] = Fig2Row{Workload: names[i], PerLayer: perLayer, Average: avg}
+	})
 	cfg.printf("Fig 2 — naive LS layer-wise PE utilization (no communication)\n")
-	for _, name := range cfg.workloads(models.Fig2Workloads) {
-		g := mustModel(name)
-		perLayer, avg := baseline.LayerUtilization(g, hw.Engine, hw.Dataflow, hw.Mesh.Engines())
-		rows = append(rows, Fig2Row{Workload: name, PerLayer: perLayer, Average: avg})
-		cfg.printf("  %-14s avg %.2f%% over %d layers\n", name, 100*avg, len(perLayer))
+	for _, row := range rows {
+		cfg.printf("  %-14s avg %.2f%% over %d layers\n", row.Workload, 100*row.Average, len(row.PerLayer))
 	}
 	return rows, nil
 }
@@ -51,22 +54,25 @@ type Fig5aRow struct {
 // after SA, most atom cycles concentrate in one region.
 func Fig5a(cfg Config) ([]Fig5aRow, error) {
 	hw := cfg.hw()
-	var rows []Fig5aRow
-	cfg.printf("Fig 5a — distribution of atom execution cycles after SA\n")
-	for _, name := range cfg.workloads(models.Fig2Workloads) {
-		g := mustModel(name)
+	names := cfg.workloads(models.Fig2Workloads)
+	rows := make([]Fig5aRow, len(names))
+	forEach(len(names), func(i int) {
+		g := mustModel(names[i])
 		res := anneal.SA(g, hw.Engine, hw.Dataflow,
-			anneal.Options{MaxIters: cfg.saIters(), Seed: cfg.seed()})
-		row := Fig5aRow{Workload: name, MeanCycle: res.MeanCycle, CV: res.FinalCV,
+			anneal.Options{MaxIters: cfg.saIters(), Seed: cfg.seed(), Oracle: hw.Oracle})
+		row := Fig5aRow{Workload: names[i], MeanCycle: res.MeanCycle, CV: res.FinalCV,
 			Histogram: make(map[int]int)}
 		for lid, cyc := range res.LayerCycles {
 			tiles := res.Spec[lid].Tiles(g.Layer(lid))
 			bin := int(float64(cyc) / res.MeanCycle / 0.25)
 			row.Histogram[bin] += tiles
 		}
-		rows = append(rows, row)
+		rows[i] = row
+	})
+	cfg.printf("Fig 5a — distribution of atom execution cycles after SA\n")
+	for _, row := range rows {
 		cfg.printf("  %-14s mean %.0f cycles, CV %.3f, histogram %v\n",
-			name, row.MeanCycle, row.CV, row.Histogram)
+			row.Workload, row.MeanCycle, row.CV, row.Histogram)
 	}
 	return rows, nil
 }
@@ -88,7 +94,7 @@ func Fig5b(cfg Config) (Fig5bResult, error) {
 		name = w[0]
 	}
 	g := mustModel(name)
-	opt := anneal.Options{MaxIters: cfg.saIters(), Seed: cfg.seed()}
+	opt := anneal.Options{MaxIters: cfg.saIters(), Seed: cfg.seed(), Oracle: hw.Oracle}
 	sa := anneal.SA(g, hw.Engine, hw.Dataflow, opt)
 	ga := anneal.GA(g, hw.Engine, hw.Dataflow, anneal.GAOptions{Options: opt})
 	res := Fig5bResult{
@@ -152,39 +158,71 @@ func Fig11(cfg Config) ([]StrategyResult, error) {
 
 func latencyThroughput(cfg Config, batch int, strategies []string, title string) ([]StrategyResult, error) {
 	hw := cfg.hw()
-	var rows []StrategyResult
-	cfg.printf("%s\n", title)
+	names := cfg.workloads(models.PaperWorkloads)
+
+	// One sweep point per (dataflow, workload); the strategy list runs
+	// sequentially inside a point so strategies on the same workload reuse
+	// the cache lines the earlier strategies just priced.
+	type point struct {
+		df   engine.Dataflow
+		name string
+	}
+	var points []point
 	for _, df := range dataflows {
-		hw.Dataflow = df
-		for _, name := range cfg.workloads(models.PaperWorkloads) {
-			g := mustModel(name)
-			for _, strat := range strategies {
-				var rep sim.Report
-				var err error
-				switch strat {
-				case "LS":
-					rep, err = baseline.LS(g, batch, hw)
-				case "CNN-P":
-					rep, err = baseline.CNNP(g, batch, hw)
-				case "IL-Pipe":
-					rep, err = baseline.ILPipe(g, batch, hw)
-				case "AD":
-					rep, err = runAD(g, batch, hw, cfg.Mode, cfg.saIters(), cfg.seed())
-				default:
-					err = fmt.Errorf("unknown strategy %q", strat)
-				}
-				if err != nil {
-					return nil, fmt.Errorf("%s/%s/%v: %w", name, strat, df, err)
-				}
-				rows = append(rows, StrategyResult{
-					Workload: name, Strategy: strat, Dataflow: df.String(), Report: rep,
-				})
-				cfg.printf("  %-5s %-14s %-8s %10.3f ms  util %5.1f%%  %8.1f mJ\n",
-					df, name, strat, rep.TimeMS, 100*rep.PEUtilization, rep.Energy.TotalMJ())
-			}
+		for _, name := range names {
+			points = append(points, point{df, name})
 		}
 	}
-	return rows, nil
+	rows := make([][]StrategyResult, len(points))
+	errs := make([]error, len(points))
+	forEach(len(points), func(i int) {
+		p := points[i]
+		pointHW := hw
+		pointHW.Dataflow = p.df
+		g := mustModel(p.name)
+		out := make([]StrategyResult, 0, len(strategies))
+		for _, strat := range strategies {
+			var rep sim.Report
+			var err error
+			switch strat {
+			case "LS":
+				rep, err = baseline.LS(g, batch, pointHW)
+			case "CNN-P":
+				rep, err = baseline.CNNP(g, batch, pointHW)
+			case "IL-Pipe":
+				rep, err = baseline.ILPipe(g, batch, pointHW)
+			case "AD":
+				rep, err = runAD(g, batch, pointHW, cfg.Mode, cfg.saIters(), cfg.seed())
+			default:
+				err = fmt.Errorf("unknown strategy %q", strat)
+			}
+			if err != nil {
+				errs[i] = fmt.Errorf("%s/%s/%v: %w", p.name, strat, p.df, err)
+				return
+			}
+			out = append(out, StrategyResult{
+				Workload: p.name, Strategy: strat, Dataflow: p.df.String(), Report: rep,
+			})
+		}
+		rows[i] = out
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	cfg.printf("%s\n", title)
+	var flat []StrategyResult
+	for i, group := range rows {
+		for _, r := range group {
+			flat = append(flat, r)
+			cfg.printf("  %-5s %-14s %-8s %10.3f ms  util %5.1f%%  %8.1f mJ\n",
+				points[i].df, r.Workload, r.Strategy, r.Report.TimeMS,
+				100*r.Report.PEUtilization, r.Report.Energy.TotalMJ())
+		}
+	}
+	return flat, nil
 }
 
 // Fig10Row is one workload's per-stage improvement breakdown.
@@ -211,9 +249,11 @@ type Fig10Row struct {
 func Fig10(cfg Config) ([]Fig10Row, error) {
 	hw := cfg.hw()
 	batch := cfg.batch(4)
-	var rows []Fig10Row
-	cfg.printf("Fig 10 — per-stage performance improvements (batch=%d)\n", batch)
-	for _, name := range cfg.workloads(models.PaperWorkloads) {
+	names := cfg.workloads(models.PaperWorkloads)
+	rows := make([]Fig10Row, len(names))
+	errs := make([]error, len(names))
+	forEach(len(names), func(i int) {
+		name := names[i]
 		g := mustModel(name)
 
 		noReuse := hw
@@ -223,29 +263,33 @@ func Fig10(cfg Config) ([]Fig10Row, error) {
 		// T0: even-split atoms in strict layer order, no reuse.
 		t0, err := runLayerOrdered(g, batch, noReuse, nil, cfg)
 		if err != nil {
-			return nil, err
+			errs[i] = err
+			return
 		}
 		// T1: SA atoms, still layer-ordered, no reuse.
 		sa := anneal.SA(g, hw.Engine, hw.Dataflow,
-			anneal.Options{MaxIters: cfg.saIters(), Seed: cfg.seed()})
+			anneal.Options{MaxIters: cfg.saIters(), Seed: cfg.seed(), Oracle: hw.Oracle})
 		t1, err := runLayerOrdered(g, batch, noReuse, sa.Spec, cfg)
 		if err != nil {
-			return nil, err
+			errs[i] = err
+			return
 		}
 		// T2: + mapping and buffering (on-chip reuse), still layer order.
 		t2, err := runLayerOrdered(g, batch, hw, sa.Spec, cfg)
 		if err != nil {
-			return nil, err
+			errs[i] = err
+			return
 		}
 		// T3: + graph-level DAG scheduling (full atomic dataflow) —
 		// flexible ordering both packs Rounds better and tightens reuse
 		// windows (atoms are consumed sooner, evicted less).
 		t3, err := runAD(g, batch, hw, cfg.Mode, cfg.saIters(), cfg.seed())
 		if err != nil {
-			return nil, err
+			errs[i] = err
+			return
 		}
 
-		row := Fig10Row{
+		rows[i] = Fig10Row{
 			Workload:   name,
 			BaseMS:     t0.TimeMS,
 			SAGain:     speedup(t0.TimeMS, t1.TimeMS),
@@ -254,9 +298,16 @@ func Fig10(cfg Config) ([]Fig10Row, error) {
 			CombinedMS: t3.TimeMS,
 			TotalGain:  speedup(t0.TimeMS, t3.TimeMS),
 		}
-		rows = append(rows, row)
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	cfg.printf("Fig 10 — per-stage performance improvements (batch=%d)\n", batch)
+	for _, row := range rows {
 		cfg.printf("  %-14s SA %5.2fx  DP %5.2fx  reuse %5.2fx  total %5.2fx\n",
-			name, row.SAGain, row.DPGain, row.ReuseGain, row.TotalGain)
+			row.Workload, row.SAGain, row.DPGain, row.ReuseGain, row.TotalGain)
 	}
 	return rows, nil
 }
@@ -291,7 +342,7 @@ func runLayerOrdered(g *graph.Graph, batch int, hw sim.Config, spec atom.Spec, c
 		}
 	}
 	s, err := schedule.FromRounds(d, rounds, schedule.Options{
-		Engines: n, EngineCfg: hw.Engine, Dataflow: hw.Dataflow,
+		Engines: n, EngineCfg: hw.Engine, Dataflow: hw.Dataflow, Oracle: hw.Oracle,
 	})
 	if err != nil {
 		return sim.Report{}, err

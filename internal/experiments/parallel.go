@@ -1,0 +1,43 @@
+package experiments
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// forEach runs fn(0..n-1) on a GOMAXPROCS-sized worker pool and waits for
+// all of them. Callers write results into index-addressed slices and print
+// after the loop, so sweep output stays in input order regardless of which
+// worker finishes first. Per-point work (the seeded SA trajectory, the
+// strategy list of a latency/throughput cell, the T0-T3 ablation chain)
+// stays sequential inside fn, so parallelism never reorders anything a
+// result depends on.
+func forEach(n int, fn func(i int)) {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -4,7 +4,7 @@ import (
 	"fmt"
 
 	"github.com/atomic-dataflow/atomicflow/internal/atom"
-	"github.com/atomic-dataflow/atomicflow/internal/engine"
+	"github.com/atomic-dataflow/atomicflow/internal/cost"
 	"github.com/atomic-dataflow/atomicflow/internal/graph"
 )
 
@@ -28,8 +28,9 @@ func FromRounds(d *atom.DAG, rounds [][]int, opt Options) (*Schedule, error) {
 	for i := range s.AtomRound {
 		s.AtomRound[i] = -1
 	}
+	orc := cost.Or(opt.Oracle)
 	for _, a := range d.Atoms {
-		c := engine.Evaluate(opt.EngineCfg, opt.Dataflow, a.Task)
+		c := orc.Evaluate(opt.EngineCfg, opt.Dataflow, a.Task)
 		s.ComputeCycles[a.ID] = c.Cycles
 	}
 	for t, atoms := range rounds {

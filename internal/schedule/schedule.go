@@ -18,6 +18,7 @@ import (
 	"fmt"
 
 	"github.com/atomic-dataflow/atomicflow/internal/atom"
+	"github.com/atomic-dataflow/atomicflow/internal/cost"
 	"github.com/atomic-dataflow/atomicflow/internal/engine"
 	"github.com/atomic-dataflow/atomicflow/internal/graph"
 )
@@ -41,6 +42,11 @@ type Options struct {
 	MaxOptions int             // option fan-out per Round (default 4)
 	EngineCfg  engine.Config   // engine pricing the atoms (required)
 	Dataflow   engine.Dataflow // dataflow pricing the atoms
+
+	// Oracle prices the atoms (default: a fresh memoized oracle). Pass the
+	// run's shared oracle so scheduling reuses evaluations cached during
+	// candidate generation.
+	Oracle cost.Oracle
 }
 
 func (o Options) lookahead() int {
@@ -185,8 +191,9 @@ func newState(d *atom.DAG, opt Options) *state {
 		st.layerPos[lid] = i
 	}
 	st.samplesLeft = make([]int, d.Batch)
+	orc := cost.Or(opt.Oracle)
 	for _, a := range d.Atoms {
-		c := engine.Evaluate(opt.EngineCfg, opt.Dataflow, a.Task)
+		c := orc.Evaluate(opt.EngineCfg, opt.Dataflow, a.Task)
 		st.cycles[a.ID] = c.Cycles
 		st.indeg[a.ID] = len(a.Deps)
 	}

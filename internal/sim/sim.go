@@ -18,6 +18,7 @@ import (
 
 	"github.com/atomic-dataflow/atomicflow/internal/atom"
 	"github.com/atomic-dataflow/atomicflow/internal/buffer"
+	"github.com/atomic-dataflow/atomicflow/internal/cost"
 	"github.com/atomic-dataflow/atomicflow/internal/dram"
 	"github.com/atomic-dataflow/atomicflow/internal/energy"
 	"github.com/atomic-dataflow/atomicflow/internal/engine"
@@ -47,6 +48,10 @@ type Config struct {
 	// Trace, when non-nil, receives one RoundTrace per executed Round
 	// (see internal/trace for exporters).
 	Trace func(RoundTrace)
+	// Oracle prices atoms (default: a fresh memoized oracle per Run).
+	// Pass one shared oracle across the annealer, scheduler, baselines and
+	// simulator so identical tasks are evaluated once for the whole run.
+	Oracle cost.Oracle
 }
 
 // AtomTrace records one atom's execution within a Round.
@@ -146,6 +151,7 @@ func Run(d *atom.DAG, s *schedule.Schedule, cfg Config) (Report, error) {
 	}
 	mapper := mapping.New(cfg.Mesh, d)
 	hbm := dram.New(cfg.DRAM)
+	orc := cost.Or(cfg.Oracle)
 
 	var rep Report
 	rep.Rounds = s.NumRounds()
@@ -238,7 +244,7 @@ func Run(d *atom.DAG, s *schedule.Schedule, cfg Config) (Report, error) {
 		rep.NoCBlockedCycles += endAll - endNoNoC
 		rep.DRAMBlockedCycles += endNoNoC - endNoMem
 		for _, id := range round.Atoms {
-			c := engine.Evaluate(cfg.Engine, cfg.Dataflow, d.Atoms[id].Task)
+			c := orc.Evaluate(cfg.Engine, cfg.Dataflow, d.Atoms[id].Task)
 			rep.MACs += c.MACs
 		}
 		rep.NoCByteHops += roundByteHops
