@@ -17,7 +17,10 @@ import (
 	"github.com/atomic-dataflow/atomicflow/internal/engine"
 	"github.com/atomic-dataflow/atomicflow/internal/experiments"
 	"github.com/atomic-dataflow/atomicflow/internal/graph"
+	"github.com/atomic-dataflow/atomicflow/internal/mapping"
+	"github.com/atomic-dataflow/atomicflow/internal/noc"
 	"github.com/atomic-dataflow/atomicflow/internal/schedule"
+	"github.com/atomic-dataflow/atomicflow/internal/sim"
 )
 
 // benchCfg is the shared experiment configuration for benches.
@@ -351,6 +354,81 @@ func BenchmarkDiscussionFlexArray(b *testing.B) {
 		ratio = rows[0].TimeMS / rows[1].TimeMS // planar / flex
 	}
 	b.ReportMetric(ratio, "planar/flex-time")
+}
+
+// resnetSchedule builds the ResNet-50 atom DAG and Greedy schedule used by
+// the hot-path benchmarks, outside the timed region.
+func resnetSchedule(b *testing.B, cfg sim.Config) (*atom.DAG, *schedule.Schedule) {
+	b.Helper()
+	g, err := LoadModel("resnet50")
+	if err != nil {
+		b.Fatal(err)
+	}
+	res := anneal.SA(g, cfg.Engine, cfg.Dataflow, anneal.Options{MaxIters: 300, Seed: 1})
+	d, err := atom.Build(g, 1, res.Spec)
+	if err != nil {
+		b.Fatal(err)
+	}
+	s, err := schedule.Build(d, schedule.Options{
+		Engines: cfg.Mesh.Engines(), Mode: schedule.Greedy,
+		EngineCfg: cfg.Engine, Dataflow: cfg.Dataflow,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return d, s
+}
+
+// BenchmarkSimRun measures one end-to-end sim.Run of ResNet-50 on the
+// paper's 8x8 system — the inner loop of every figure and sweep. The
+// shared oracle keeps atom pricing out of the measurement so the NoC,
+// mapping and buffer hot paths dominate. Allocations per op are the
+// regression guard for the zero-allocation flow-simulation arena.
+func BenchmarkSimRun(b *testing.B) {
+	cfg := sim.DefaultConfig()
+	cfg.Oracle = cost.Default()
+	d, s := resnetSchedule(b, cfg)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sim.Run(d, s, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// benchPlaceSink keeps the compiler from eliding placements.
+var benchPlaceSink mapping.Result
+
+// BenchmarkPlaceRound measures one PlaceRoundWeighted call on the fullest
+// ResNet-50 Round (engines occupied by the previous Round's outputs), the
+// permutation-search hot path of the mapping stage.
+func BenchmarkPlaceRound(b *testing.B) {
+	cfg := sim.DefaultConfig()
+	d, s := resnetSchedule(b, cfg)
+	mesh := noc.NewMesh(8, 8, 32)
+	mapper := mapping.New(mesh, d)
+	// The fullest Round (preferring a non-first one so locate is realistic).
+	best := 1
+	for r := 1; r < s.NumRounds(); r++ {
+		if len(s.Rounds[r].Atoms) > len(s.Rounds[best].Atoms) {
+			best = r
+		}
+	}
+	prev := mapper.PlaceRound(s.Rounds[best-1].Atoms, func(int) int { return -1 })
+	locate := func(id int) int {
+		if e, ok := prev.EngineOf[id]; ok {
+			return e
+		}
+		return -1
+	}
+	round := s.Rounds[best].Atoms
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		benchPlaceSink = mapper.PlaceRoundWeighted(round, locate, nil)
+	}
+	b.ReportMetric(float64(len(round)), "atoms/round")
 }
 
 // benchSink keeps the compiler from eliding oracle evaluations.

@@ -238,11 +238,14 @@ func newSearch(g *graph.Graph, cfg engine.Config, df engine.Dataflow, opt Option
 		s.lcAt[i] = s.cands[lid]
 	}
 	// Normalize acceptance energies by the square of a typical cycle
-	// count so temperature is scale-free across workloads.
+	// count so temperature is scale-free across workloads. Iterate layers
+	// in graph order, not map order: float addition is order-sensitive,
+	// and the scale feeds SA acceptance, so a map walk here would make
+	// whole annealing trajectories vary run to run.
 	var sum float64
 	var n int
-	for _, lc := range s.cands {
-		for _, c := range lc.cands {
+	for _, lid := range all {
+		for _, c := range s.cands[lid].cands {
 			sum += float64(c.cycles)
 			n++
 		}

@@ -13,6 +13,7 @@ package buffer
 
 import (
 	"fmt"
+	"slices"
 	"sort"
 
 	"github.com/atomic-dataflow/atomicflow/internal/atom"
@@ -43,6 +44,18 @@ type wkey struct {
 	c0, c1 int
 }
 
+// wkeyLess orders weight keys by (layer, c0, c1) — the deterministic
+// tie-break used when ranking eviction candidates.
+func wkeyLess(a, b wkey) bool {
+	if a.layer != b.layer {
+		return a.layer < b.layer
+	}
+	if a.c0 != b.c0 {
+		return a.c0 < b.c0
+	}
+	return a.c1 < b.c1
+}
+
 // tag packs the key into the non-zero multicast tag of a Flow. Weight
 // tags live in a namespace disjoint from ifmap (atom-ID) tags.
 func (k wkey) tag() int64 {
@@ -57,6 +70,18 @@ type Flow struct {
 	Src, Dst int
 	Bytes    int64
 	Tag      int64
+}
+
+// GroupKey returns the multicast-group key of the flow within its (Src)
+// namespace: tagged flows share their Tag (one tree per tensor), while
+// unicast flows get a unique negative key per destination so each forms
+// its own group. The NoC simulator sorts flows by (Src, |key|, key, Dst)
+// and treats equal (Src, key) runs as one multicast tree.
+func (f Flow) GroupKey() int64 {
+	if f.Tag != 0 {
+		return f.Tag
+	}
+	return -int64(f.Dst) - 1
 }
 
 // RoundIO is the data movement of one Round, per engine where relevant.
@@ -134,10 +159,10 @@ func New(d *atom.DAG, s *schedule.Schedule, engines int, capacityBytes int64) (*
 		}
 	}
 	for i := range m.consRound {
-		sortInt32(m.consRound[i])
+		slices.Sort(m.consRound[i])
 	}
 	for k := range m.wRounds {
-		sortInt32(m.wRounds[k])
+		slices.Sort(m.wRounds[k])
 	}
 	return m, nil
 }
@@ -333,6 +358,12 @@ func nearestHolder(holders map[int]bool, e int) int {
 // evictOne applies Algorithm 3 to engine e: release any entry with no
 // future use; otherwise write back the entry with the largest invalid
 // occupation (t_next − t) × size. Returns false if the buffer is empty.
+//
+// Candidates are ranked by an explicit total order — dead entries by
+// smallest key, live victims by (occupation, kind, key) — never by map
+// iteration order. Eviction choices shape DRAM traffic and flows, so
+// letting Go's randomized map walk break ties would make whole Reports
+// vary run to run.
 func (m *Manager) evictOne(e, t int, io *RoundIO) bool {
 	var victim *entry
 	var victimOcc int64 = -1
@@ -341,31 +372,49 @@ func (m *Manager) evictOne(e, t int, io *RoundIO) bool {
 	// mid-Round, before every fetch of Round t has been served, so
 	// entries consumed this Round get occupation 0 (kept if possible)
 	// rather than being dropped as dead.
+	deadAtom := -1
 	for id, ent := range m.buffers[e] {
 		tn := m.nextUse(id, t-1)
 		if tn < 0 {
-			m.release(e, id)
-			return true
+			if deadAtom < 0 || id < deadAtom {
+				deadAtom = id
+			}
+			continue
 		}
 		occ := int64(tn-t) * ent.bytes
-		if occ > victimOcc {
+		if occ > victimOcc || (occ == victimOcc && ent.atom < victim.atom) {
 			victimOcc, victim = occ, ent
 		}
 	}
+	if deadAtom >= 0 {
+		m.release(e, deadAtom)
+		return true
+	}
+	var deadW wkey
+	haveDeadW := false
 	for wk, ent := range m.wbuffers[e] {
 		tn := m.nextWeightUse(wk, t-1)
 		if tn < 0 {
-			m.releaseWeight(e, wk)
-			return true
+			if !haveDeadW || wkeyLess(wk, deadW) {
+				deadW, haveDeadW = wk, true
+			}
+			continue
 		}
 		// Weights are immutable in DRAM: evicting one costs a refetch but
 		// no write-back, and the global reuse-round estimate is
 		// optimistic (the next user may be another engine entirely), so
 		// weight entries are biased toward eviction over dirty ofmaps.
+		// On an occupation tie a dirty ofmap victim is kept over a weight
+		// victim for the same reason.
 		occ := 2 * int64(tn-t) * ent.bytes
-		if occ > victimOcc {
+		if occ > victimOcc ||
+			(occ == victimOcc && victim.kind == kindWeight && wkeyLess(wk, victim.wkey)) {
 			victimOcc, victim = occ, ent
 		}
+	}
+	if haveDeadW {
+		m.releaseWeight(e, deadW)
+		return true
 	}
 	if victim == nil {
 		return false
@@ -436,7 +485,3 @@ func (m *Manager) nextWeightUse(wk wkey, t int) int {
 
 // Used returns the bytes currently resident in engine e's buffer.
 func (m *Manager) Used(e int) int64 { return m.used[e] }
-
-func sortInt32(s []int32) {
-	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
-}

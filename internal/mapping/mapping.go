@@ -33,16 +33,35 @@ type WeightLocator func(engineID, atomID int) bool
 // pJ/bit/hop NoC ≈ 11; rounded down to keep ifmap locality dominant).
 const dramHopEquivalent = 8
 
-// Mapper places Rounds onto a mesh.
+// Mapper places Rounds onto a mesh. A Mapper is owned by one goroutine
+// (each sim.Run builds its own): the scratch buffers below are reused
+// across PlaceRound calls so a Round's placement search allocates only
+// its Result.
 type Mapper struct {
 	mesh   *noc.Mesh
 	dag    *atom.DAG
 	zigzag []int // engine indices in zig-zag (snake) order
+
+	// Permutation-search scratch (see buildCostTable).
+	gidx      map[int64]int
+	groupsBuf []group
+	atomPool  [][]int
+	orderBuf  []int
+	bestBuf   []int
+	sizes     []int   // group -> atom count
+	groupCost []int64 // group x base-slot byte-hop costs
+	rowBuf    []int64 // one atom's cost per slot
+	ctSlots   int     // slot count of the current table
+
+	// Weight-refinement scratch (see refineForWeights).
+	refEng  []int
+	refPos  []int
+	refCost []int64
 }
 
 // New returns a Mapper for the DAG on the mesh.
 func New(mesh *noc.Mesh, dag *atom.DAG) *Mapper {
-	m := &Mapper{mesh: mesh, dag: dag}
+	m := &Mapper{mesh: mesh, dag: dag, gidx: make(map[int64]int)}
 	m.zigzag = make([]int, 0, mesh.Engines())
 	for y := 0; y < mesh.H; y++ {
 		if y%2 == 0 {
@@ -84,13 +103,19 @@ func (m *Mapper) PlaceRound(roundAtoms []int, locate Locator) Result {
 // weight-refetch cost improves.
 func (m *Mapper) PlaceRoundWeighted(roundAtoms []int, locate Locator, weights WeightLocator) Result {
 	groups := m.groupByLayer(roundAtoms)
-	order := make([]int, len(groups))
-	for i := range order {
-		order[i] = i
+	m.buildCostTable(groups, locate)
+	order := m.orderBuf[:0]
+	for i := range groups {
+		order = append(order, i)
 	}
-	eval := func(perm []int) int64 { return m.transferCost(groups, perm, locate) }
+	m.orderBuf = order
+	// eval prices one layer permutation in M table lookups; it equals
+	// transferCost(groups, perm, locate) exactly (pinned by tests), so
+	// the search visits and ranks permutations identically.
+	eval := m.permCost
 
-	best := append([]int(nil), order...)
+	best := append(m.bestBuf[:0], order...)
+	m.bestBuf = best
 	bestCost := eval(best)
 	perms := 1
 	if len(groups) > 1 && len(groups) <= maxExhaustive {
@@ -153,67 +178,185 @@ func (m *Mapper) placementCost(engineOf map[int]int, locate Locator) int64 {
 	return cost
 }
 
-// atomCostAt prices running atom id on engine e: ifmap fetch hops plus the
-// DRAM-equivalent cost of a weight slice the engine does not hold.
-func (m *Mapper) atomCostAt(id, e int, locate Locator, weights WeightLocator) int64 {
-	a := m.dag.Atoms[id]
-	var cost int64
-	for di, dep := range a.Deps {
-		src := locate(dep)
-		if src < 0 || src == e {
-			continue
+// fillAtomCosts writes into cost[i*n+j] the price of running atoms[i] on
+// eng[j]: ifmap fetch hops plus the DRAM-equivalent cost of a weight
+// slice the engine does not hold. Dependencies are resolved once per
+// atom and priced against a shared hop row, not once per engine pair.
+func (m *Mapper) fillAtomCosts(atoms, eng []int, cost []int64, locate Locator, weights WeightLocator) {
+	n := len(eng)
+	for i, id := range atoms {
+		a := m.dag.Atoms[id]
+		ci := cost[i*n : (i+1)*n]
+		for j := range ci {
+			ci[j] = 0
 		}
-		cost += a.DepBytes[di] * int64(m.mesh.Hops(src, e))
-	}
-	if !weights(e, id) {
-		cost += a.Task.WeightBytes() * dramHopEquivalent
-	}
-	return cost
-}
-
-// refineForWeights hill-climbs within each group's slots, swapping atom
-// pairs whenever the combined cost drops.
-func (m *Mapper) refineForWeights(groups []group, perm []int, engineOf map[int]int, locate Locator, weights WeightLocator) {
-	for _, gi := range perm {
-		atoms := groups[gi].atoms
-		improved := true
-		for pass := 0; improved && pass < 4; pass++ {
-			improved = false
-			for i := 0; i < len(atoms); i++ {
-				for j := i + 1; j < len(atoms); j++ {
-					a, b := atoms[i], atoms[j]
-					ea, eb := engineOf[a], engineOf[b]
-					cur := m.atomCostAt(a, ea, locate, weights) + m.atomCostAt(b, eb, locate, weights)
-					swp := m.atomCostAt(a, eb, locate, weights) + m.atomCostAt(b, ea, locate, weights)
-					if swp < cur {
-						engineOf[a], engineOf[b] = eb, ea
-						improved = true
-					}
-				}
+		for di, dep := range a.Deps {
+			src := locate(dep)
+			if src < 0 {
+				continue
+			}
+			bytes := a.DepBytes[di]
+			hr := m.mesh.HopsRow(src)
+			for j, e := range eng {
+				ci[j] += bytes * int64(hr[e])
+			}
+		}
+		wb := a.Task.WeightBytes() * dramHopEquivalent
+		for j, e := range eng {
+			if !weights(e, id) {
+				ci[j] += wb
 			}
 		}
 	}
 }
 
+// refineForWeights hill-climbs within each group's slots, swapping atom
+// pairs whenever the combined cost drops. The group's candidate engines
+// are fixed by the permutation (swaps only permute atoms among them), and
+// buffer residency does not change during placement, so every atom-engine
+// cost is precomputed into one dense n x n matrix and each swap check is
+// four lookups — this was the simulator's hottest path before.
+func (m *Mapper) refineForWeights(groups []group, perm []int, engineOf map[int]int, locate Locator, weights WeightLocator) {
+	for _, gi := range perm {
+		atoms := groups[gi].atoms
+		n := len(atoms)
+		if n < 2 {
+			continue
+		}
+		eng := growInts(&m.refEng, n)
+		for j, id := range atoms {
+			eng[j] = engineOf[id]
+		}
+		cost := growInt64s(&m.refCost, n*n)
+		m.fillAtomCosts(atoms, eng, cost, locate, weights)
+		// pos[i] is the slot (index into eng) atom i currently occupies.
+		pos := growInts(&m.refPos, n)
+		for i := range pos {
+			pos[i] = i
+		}
+		improved := true
+		for pass := 0; improved && pass < 4; pass++ {
+			improved = false
+			for i := 0; i < n; i++ {
+				for j := i + 1; j < n; j++ {
+					pi, pj := pos[i], pos[j]
+					cur := cost[i*n+pi] + cost[j*n+pj]
+					swp := cost[i*n+pj] + cost[j*n+pi]
+					if swp < cur {
+						pos[i], pos[j] = pj, pi
+						improved = true
+					}
+				}
+			}
+		}
+		for i, id := range atoms {
+			engineOf[id] = eng[pos[i]]
+		}
+	}
+}
+
+// buildCostTable fills the Mapper's permutation-search table for the
+// Round: groupCost[gi*slots+base] is the ifmap byte-hop cost of landing
+// group gi's atoms on zig-zag slots base..base+size-1. Dependency sources
+// are fixed by locate (they were placed in earlier Rounds), so the cost
+// of a group depends only on its base slot — a permutation's TransferCost
+// is the sum of M lookups along its prefix bases (see permCost).
+func (m *Mapper) buildCostTable(groups []group, locate Locator) {
+	slots := 0
+	for _, g := range groups {
+		slots += len(g.atoms)
+	}
+	m.ctSlots = slots
+	sizes := growInts(&m.sizes, len(groups))
+	groupCost := growInt64s(&m.groupCost, len(groups)*slots)
+	row := growInt64s(&m.rowBuf, slots)
+	for gi, g := range groups {
+		sizes[gi] = len(g.atoms)
+		gc := groupCost[gi*slots : (gi+1)*slots]
+		for b := range gc {
+			gc[b] = 0
+		}
+		for k, id := range g.atoms {
+			a := m.dag.Atoms[id]
+			for s := range row {
+				row[s] = 0
+			}
+			for di, dep := range a.Deps {
+				src := locate(dep)
+				if src < 0 {
+					continue
+				}
+				bytes := a.DepBytes[di]
+				hr := m.mesh.HopsRow(src)
+				for s, e := range m.zigzag[:slots] {
+					row[s] += bytes * int64(hr[e])
+				}
+			}
+			// A group at base b puts its k-th atom on slot b+k.
+			for b := 0; b+len(g.atoms) <= slots; b++ {
+				gc[b] += row[b+k]
+			}
+		}
+	}
+}
+
+// permCost prices one layer permutation from the cost table built by
+// buildCostTable: O(M) lookups, no allocation, exactly equal to
+// transferCost on the same groups and locator.
+func (m *Mapper) permCost(perm []int) int64 {
+	var c int64
+	base := 0
+	for _, gi := range perm {
+		c += m.groupCost[gi*m.ctSlots+base]
+		base += m.sizes[gi]
+	}
+	return c
+}
+
+// growInts returns *buf resized to n, reusing its capacity.
+func growInts(buf *[]int, n int) []int {
+	if cap(*buf) < n {
+		*buf = make([]int, n)
+	}
+	*buf = (*buf)[:n]
+	return *buf
+}
+
+// growInt64s returns *buf resized to n, reusing its capacity.
+func growInt64s(buf *[]int64, n int) []int64 {
+	if cap(*buf) < n {
+		*buf = make([]int64, n)
+	}
+	*buf = (*buf)[:n]
+	return *buf
+}
+
 // groupByLayer buckets the Round's atoms into (sample, layer) groups,
-// preserving the scheduler's deterministic order.
+// preserving the scheduler's deterministic order. The group headers and
+// per-group atom slices are pooled on the Mapper and reused across
+// Rounds; the returned slice is valid until the next call.
 func (m *Mapper) groupByLayer(roundAtoms []int) []group {
-	idx := make(map[int64]int)
-	var groups []group
+	clear(m.gidx)
+	groups := m.groupsBuf[:0]
 	for _, id := range roundAtoms {
 		a := m.dag.Atoms[id]
 		k := int64(a.Sample)<<32 | int64(a.Layer)
-		gi, ok := idx[k]
+		gi, ok := m.gidx[k]
 		if !ok {
 			gi = len(groups)
-			idx[k] = gi
-			groups = append(groups, group{})
+			m.gidx[k] = gi
+			if gi == len(m.atomPool) {
+				m.atomPool = append(m.atomPool, nil)
+			}
+			groups = append(groups, group{atoms: m.atomPool[gi][:0]})
 		}
 		groups[gi].atoms = append(groups[gi].atoms, id)
 	}
 	for i := range groups {
+		m.atomPool[i] = groups[i].atoms // return grown capacity to the pool
 		sort.Ints(groups[i].atoms)
 	}
+	m.groupsBuf = groups
 	return groups
 }
 

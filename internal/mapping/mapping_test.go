@@ -178,6 +178,66 @@ func TestSameLayerAtomsAdjacent(t *testing.T) {
 	}
 }
 
+// TestCostTableMatchesTransferCost pins the dense permutation evaluator
+// (buildCostTable + permCost) to the reference transferCost walk on every
+// permutation of a multi-group Round, so the search ranks permutations
+// identically and placements stay bit-for-bit reproducible.
+func TestCostTableMatchesTransferCost(t *testing.T) {
+	d, prev, cur := fig7DAG(t)
+	mesh := noc.NewMesh(3, 3, 8) // 9 slots: fits the 9-atom synthetic Round
+	m := New(mesh, d)
+	r0 := m.PlaceRound(prev, func(int) int { return -1 })
+	locate := func(id int) int {
+		if e, ok := r0.EngineOf[id]; ok {
+			return e
+		}
+		return -1
+	}
+	// Synthetic 3-group Round: cur holds one group per layer after
+	// grouping, so extend it with prev's layers for a multi-group case.
+	round := append(append([]int(nil), cur...), prev...)
+	groups := m.groupByLayer(round)
+	if len(groups) < 3 {
+		t.Fatalf("want >= 3 groups, got %d", len(groups))
+	}
+	m.buildCostTable(groups, locate)
+	perm := make([]int, len(groups))
+	for i := range perm {
+		perm[i] = i
+	}
+	permute(perm, func(p []int) {
+		want := m.transferCost(groups, p, locate)
+		if got := m.permCost(p); got != want {
+			t.Fatalf("perm %v: permCost = %d, transferCost = %d", p, got, want)
+		}
+	})
+}
+
+// TestPlaceRoundScratchReuse checks that back-to-back placements on one
+// Mapper (the per-Round reuse path) match placements on fresh Mappers.
+func TestPlaceRoundScratchReuse(t *testing.T) {
+	d, prev, cur := fig7DAG(t)
+	mesh := noc.NewMesh(3, 2, 8)
+	shared := New(mesh, d)
+	none := func(int) int { return -1 }
+	for round := 0; round < 2; round++ {
+		atoms := prev
+		if round == 1 {
+			atoms = cur
+		}
+		got := shared.PlaceRound(atoms, none)
+		want := New(mesh, d).PlaceRound(atoms, none)
+		if got.ByteHops != want.ByteHops || len(got.EngineOf) != len(want.EngineOf) {
+			t.Fatalf("round %d: reused mapper differs: %+v vs %+v", round, got, want)
+		}
+		for id, e := range want.EngineOf {
+			if got.EngineOf[id] != e {
+				t.Fatalf("round %d: atom %d on engine %d, want %d", round, id, got.EngineOf[id], e)
+			}
+		}
+	}
+}
+
 func TestHillClimbManyGroups(t *testing.T) {
 	// More than maxExhaustive layer groups triggers hill climbing; the
 	// result must still be a valid injective placement.

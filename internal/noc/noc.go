@@ -6,16 +6,28 @@
 // same directed link within a scheduling Round are serialized on it.
 package noc
 
-import "fmt"
+import (
+	"fmt"
+	"sync"
+)
 
 // Mesh is a W x H grid of engines. Engine e sits at (e % W, e / W).
 // The zero kind is the 2D mesh; NewTorus and NewHTree select the other
 // topologies while keeping the same interface (see topology.go).
+//
+// Meshes must be built with NewMesh, NewTorus or NewHTree: every mesh
+// lazily caches a dense all-pairs route table (see routes.go) keyed on
+// its construction-time geometry, so W and H must not change afterwards.
+// LinkBytes and HopCycles stay free to tune — they price routes but do
+// not shape them.
 type Mesh struct {
 	W, H      int
 	LinkBytes int   // bytes a link forwards per cycle (paper port: 8 B)
 	HopCycles int64 // latency per hop (paper: 1)
 	kind      Kind
+
+	routeOnce sync.Once
+	routes    *routeTable
 }
 
 // NewMesh builds a mesh; linkBytes is the per-cycle link bandwidth.
@@ -37,8 +49,17 @@ func (m *Mesh) EngineAt(x, y int) int { return y*m.W + x }
 
 // Hops returns the minimal hop count between engines i and j — the
 // D(i,j) of the paper's TransferCost (Manhattan distance on the mesh,
-// wrap-aware on the torus, tree distance on the H-tree).
+// wrap-aware on the torus, tree distance on the H-tree). It reads the
+// dense all-pairs matrix of the route table, so after the first call on
+// a mesh it is one array load regardless of topology.
 func (m *Mesh) Hops(i, j int) int {
+	rt := m.table()
+	return int(rt.hops[i*rt.n+j])
+}
+
+// hopsDirect computes the hop count arithmetically; buildTable checks the
+// route walk against it, and tests use it as an independent reference.
+func (m *Mesh) hopsDirect(i, j int) int {
 	switch m.kind {
 	case KindTorus:
 		return m.hopsTorus(i, j)
@@ -97,18 +118,26 @@ func (m *Mesh) TransferCycles(i, j int, bytes int64) int64 {
 }
 
 // Traffic accumulates the flows of one scheduling Round and estimates the
-// Round's communication time under per-link contention.
+// Round's communication time under per-link contention. Link state is a
+// link-ID-indexed slice over the mesh's route table, so recording a flow
+// allocates nothing.
 type Traffic struct {
 	mesh     *Mesh
-	linkLoad map[Link]int64 // bytes crossing each directed link
-	byteHops int64          // Σ bytes x hops, the energy-relevant volume
+	linkLoad []int64 // bytes crossing each directed link, by link ID
+	byteHops int64   // Σ bytes x hops, the energy-relevant volume
 	maxHops  int
 	flows    int
 }
 
 // NewTraffic returns an empty per-Round traffic accumulator.
 func (m *Mesh) NewTraffic() *Traffic {
-	return &Traffic{mesh: m, linkLoad: make(map[Link]int64)}
+	return &Traffic{mesh: m, linkLoad: make([]int64, m.NumLinks())}
+}
+
+// Reset clears the accumulator for reuse across Rounds.
+func (t *Traffic) Reset() {
+	clear(t.linkLoad)
+	t.byteHops, t.maxHops, t.flows = 0, 0, 0
 }
 
 // Add records a flow of bytes from engine src to engine dst.
@@ -116,10 +145,11 @@ func (t *Traffic) Add(src, dst int, bytes int64) {
 	if src == dst || bytes == 0 {
 		return
 	}
-	for _, l := range t.mesh.Path(src, dst) {
-		t.linkLoad[l] += bytes
+	route := t.mesh.RouteIDs(src, dst)
+	for _, id := range route {
+		t.linkLoad[id] += bytes
 	}
-	h := t.mesh.Hops(src, dst)
+	h := len(route)
 	t.byteHops += bytes * int64(h)
 	if h > t.maxHops {
 		t.maxHops = h

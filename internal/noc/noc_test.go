@@ -120,6 +120,80 @@ func TestEmptyTraffic(t *testing.T) {
 	}
 }
 
+// TestRouteTableMatchesPath pins the dense route table to the allocating
+// Path walk on all three topologies: same links, same order, same hop
+// counts, and hop counts equal to the arithmetic reference.
+func TestRouteTableMatchesPath(t *testing.T) {
+	for _, m := range []*Mesh{NewMesh(4, 3, 8), NewTorus(4, 4, 8), NewHTree(16, 8)} {
+		n := m.Engines()
+		if m.NumLinks() <= 0 {
+			t.Fatalf("%v: NumLinks = %d", m.Kind(), m.NumLinks())
+		}
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				path := m.Path(i, j)
+				ids := m.RouteIDs(i, j)
+				if len(path) != len(ids) {
+					t.Fatalf("%v: route %d->%d: %d ids, %d links", m.Kind(), i, j, len(ids), len(path))
+				}
+				for k, id := range ids {
+					if id < 0 || int(id) >= m.NumLinks() {
+						t.Fatalf("%v: link ID %d out of range [0,%d)", m.Kind(), id, m.NumLinks())
+					}
+					if m.LinkByID(id) != path[k] {
+						t.Fatalf("%v: route %d->%d link %d: ID %d = %v, want %v",
+							m.Kind(), i, j, k, id, m.LinkByID(id), path[k])
+					}
+				}
+				if m.Hops(i, j) != len(path) || m.Hops(i, j) != m.hopsDirect(i, j) {
+					t.Fatalf("%v: Hops(%d,%d) = %d, path %d, direct %d",
+						m.Kind(), i, j, m.Hops(i, j), len(path), m.hopsDirect(i, j))
+				}
+			}
+		}
+	}
+}
+
+// TestRouteTableConcurrentBuild exercises the lazy build from many
+// goroutines (parallel sweeps share meshes across sim runs); run with
+// -race in CI.
+func TestRouteTableConcurrentBuild(t *testing.T) {
+	m := NewTorus(4, 4, 8)
+	done := make(chan int, 8)
+	for g := 0; g < 8; g++ {
+		go func() {
+			s := 0
+			for i := 0; i < m.Engines(); i++ {
+				s += len(m.RouteIDs(i, (i*7+3)%m.Engines())) + m.Hops(0, i)
+			}
+			done <- s
+		}()
+	}
+	first := <-done
+	for g := 1; g < 8; g++ {
+		if got := <-done; got != first {
+			t.Fatalf("concurrent route walks disagree: %d vs %d", got, first)
+		}
+	}
+}
+
+// TestTrafficReset pins Reset to a fully cleared accumulator.
+func TestTrafficReset(t *testing.T) {
+	m := NewMesh(4, 1, 8)
+	tr := m.NewTraffic()
+	tr.Add(0, 3, 800)
+	tr.Reset()
+	if tr.FinishCycles() != 0 || tr.ByteHops() != 0 || tr.Flows() != 0 {
+		t.Error("Reset left residual traffic state")
+	}
+	tr.Add(0, 2, 800)
+	fresh := m.NewTraffic()
+	fresh.Add(0, 2, 800)
+	if tr.FinishCycles() != fresh.FinishCycles() || tr.ByteHops() != fresh.ByteHops() {
+		t.Error("reused accumulator differs from a fresh one")
+	}
+}
+
 // Property: Hops is symmetric and satisfies the triangle inequality.
 func TestHopsMetricProperty(t *testing.T) {
 	m := NewMesh(8, 8, 8)

@@ -1,0 +1,188 @@
+package sim
+
+import (
+	"cmp"
+	"slices"
+
+	"github.com/atomic-dataflow/atomicflow/internal/buffer"
+	"github.com/atomic-dataflow/atomicflow/internal/noc"
+)
+
+// arena is the per-Run scratch state of the simulator's hot loop. All
+// link and engine state lives in dense slices indexed by the mesh's link
+// IDs and engine indices, and is invalidated by bumping an epoch stamp
+// instead of clearing or reallocating, so simulating a Round's flows
+// allocates nothing after the first Round.
+//
+// Two stamp counters partition the state by lifetime:
+//
+//   - roundStamp guards state that resets every Round: linkFree (when a
+//     link finishes its last tensor), ready (per-engine NoC arrival) and
+//     dramReady (per-engine DRAM arrival).
+//   - groupStamp guards state that resets every multicast group:
+//     linkStart (when a link begins forwarding the group's tensor).
+//
+// A slot is live only when its stamp equals the current counter; stale
+// slots read as absent. Both counters are monotonically increasing
+// int64s, so stamps never collide across Rounds or groups. Determinism
+// is preserved by construction: flows are sorted by a total order
+// (Src, |key|, key, Dst) before link claiming, which is exactly the
+// order the map-based reference path iterates in.
+type arena struct {
+	mesh *noc.Mesh
+
+	// Link state, indexed by link ID (see noc.RouteIDs).
+	linkFree   []int64
+	freeStamp  []int64
+	linkStart  []int64
+	startStamp []int64
+
+	// Engine state, indexed by engine.
+	ready      []int64
+	readyStamp []int64
+	dramReady  []int64
+	dramStamp  []int64
+
+	roundStamp int64
+	groupStamp int64
+
+	flows   []keyedFlow // sort scratch for simulateFlows
+	engines []int       // per-Round engine list scratch
+}
+
+// keyedFlow pairs a flow with its precomputed multicast-group key.
+type keyedFlow struct {
+	key int64
+	f   buffer.Flow
+}
+
+// newArena sizes the scratch for the mesh.
+func newArena(mesh *noc.Mesh) *arena {
+	nl := mesh.NumLinks()
+	ne := mesh.Engines()
+	return &arena{
+		mesh:       mesh,
+		linkFree:   make([]int64, nl),
+		freeStamp:  make([]int64, nl),
+		linkStart:  make([]int64, nl),
+		startStamp: make([]int64, nl),
+		ready:      make([]int64, ne),
+		readyStamp: make([]int64, ne),
+		dramReady:  make([]int64, ne),
+		dramStamp:  make([]int64, ne),
+	}
+}
+
+// beginRound invalidates all per-Round state.
+func (a *arena) beginRound() { a.roundStamp++ }
+
+// setDRAMReady records engine e's DRAM arrival time for this Round.
+func (a *arena) setDRAMReady(e int, at int64) {
+	a.dramReady[e] = at
+	a.dramStamp[e] = a.roundStamp
+}
+
+// getDRAMReady returns engine e's DRAM arrival this Round, if any.
+func (a *arena) getDRAMReady(e int) (int64, bool) {
+	return a.dramReady[e], a.dramStamp[e] == a.roundStamp
+}
+
+// setNoCReady records engine e's NoC arrival time (reference-path shim).
+func (a *arena) setNoCReady(e int, at int64) {
+	a.ready[e] = at
+	a.readyStamp[e] = a.roundStamp
+}
+
+// getNoCReady returns engine e's NoC arrival this Round, if any.
+func (a *arena) getNoCReady(e int) (int64, bool) {
+	return a.ready[e], a.readyStamp[e] == a.roundStamp
+}
+
+// simulateFlows is the dense counterpart of simulateFlowsReference: it
+// serializes the Round's flows on shared links in the same deterministic
+// order and records per-destination arrival times in a.ready, returning
+// the Round's byte-hop volume. beginRound must have been called.
+func (a *arena) simulateFlows(flows []buffer.Flow, start int64) int64 {
+	kf := a.flows[:0]
+	for _, f := range flows {
+		kf = append(kf, keyedFlow{key: f.GroupKey(), f: f})
+	}
+	a.flows = kf
+	slices.SortFunc(kf, func(x, y keyedFlow) int {
+		if x.f.Src != y.f.Src {
+			return cmp.Compare(x.f.Src, y.f.Src)
+		}
+		ax, ay := x.key, y.key
+		if ax < 0 {
+			ax = -ax
+		}
+		if ay < 0 {
+			ay = -ay
+		}
+		if ax != ay {
+			return cmp.Compare(ax, ay)
+		}
+		if x.key != y.key {
+			return cmp.Compare(x.key, y.key)
+		}
+		return cmp.Compare(x.f.Dst, y.f.Dst)
+	})
+
+	hop := a.mesh.HopCycles
+	linkBytes := int64(a.mesh.LinkBytes)
+	var byteHops int64
+	for gi := 0; gi < len(kf); {
+		gj := gi + 1
+		for gj < len(kf) && kf[gj].f.Src == kf[gi].f.Src && kf[gj].key == kf[gi].key {
+			gj++
+		}
+		group := kf[gi:gj]
+		bytes := group[0].f.Bytes
+		for _, e := range group[1:] {
+			if e.f.Bytes > bytes {
+				bytes = e.f.Bytes
+			}
+		}
+		ser := (bytes + linkBytes - 1) / linkBytes
+		// Walk each destination's route; a link is claimed once per tree
+		// (switch-level replication). A link cannot start forwarding
+		// before the stream's head reaches it from the upstream link
+		// (cut-through), nor while a previous tensor occupies it.
+		a.groupStamp++
+		treeLinks := int64(0)
+		for _, e := range group {
+			f := e.f
+			head := start
+			lastStart := start
+			route := a.mesh.RouteIDs(f.Src, f.Dst)
+			for _, id := range route {
+				var s int64
+				if a.startStamp[id] == a.groupStamp {
+					s = a.linkStart[id]
+				} else {
+					s = head
+					if a.freeStamp[id] == a.roundStamp && a.linkFree[id] > s {
+						s = a.linkFree[id]
+					}
+					a.linkStart[id] = s
+					a.startStamp[id] = a.groupStamp
+					a.linkFree[id] = s + ser
+					a.freeStamp[id] = a.roundStamp
+					treeLinks++
+				}
+				head = s + hop
+				lastStart = s
+			}
+			arrive := start
+			if len(route) > 0 {
+				arrive = lastStart + ser + hop
+			}
+			if r, ok := a.getNoCReady(f.Dst); !ok || arrive > r {
+				a.setNoCReady(f.Dst, arrive)
+			}
+		}
+		byteHops += bytes * treeLinks
+		gi = gj
+	}
+	return byteHops
+}

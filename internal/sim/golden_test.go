@@ -1,0 +1,59 @@
+package sim
+
+import (
+	"testing"
+
+	"github.com/atomic-dataflow/atomicflow/internal/noc"
+	"github.com/atomic-dataflow/atomicflow/internal/schedule"
+)
+
+// TestGoldenReportDeterminism is the regression gate for the dense
+// route-table/arena hot paths: for one cascade, one residual and one
+// NAS-irregular zoo model, sim.Run must produce bit-identical Reports
+// (a) across repeated runs and (b) across the dense arena path and the
+// map-based reference path. The perf PR is a representation change, not
+// a model change — any drift here is a bug.
+func TestGoldenReportDeterminism(t *testing.T) {
+	models := []struct {
+		name   string
+		batch  int
+		bufDiv int64 // shrink BufferBytes by this factor (0 = default)
+	}{
+		{"tinyconv", 2, 0},    // cascade
+		{"tinyresnet", 2, 0},  // residual bypasses
+		{"pnascell", 2, 0},    // NAS-generated irregular cell
+		{"tinyresnet", 2, 64}, // starved buffers: exercises eviction ranking
+	}
+	for _, mc := range models {
+		t.Run(mc.name, func(t *testing.T) {
+			cfg := DefaultConfig()
+			cfg.Mesh = noc.NewMesh(4, 4, 16)
+			if mc.bufDiv > 0 {
+				cfg.BufferBytes = int64(cfg.Engine.BufferBytes) / mc.bufDiv
+			}
+			d, s := pipeline(t, mc.name, mc.batch, cfg, schedule.Greedy)
+
+			run := func(reference bool) Report {
+				t.Helper()
+				old := useReferenceFlows
+				useReferenceFlows = reference
+				defer func() { useReferenceFlows = old }()
+				rep, err := Run(d, s, cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				return rep
+			}
+
+			dense1 := run(false)
+			dense2 := run(false)
+			if dense1 != dense2 {
+				t.Errorf("dense path not deterministic:\n  %+v\nvs\n  %+v", dense1, dense2)
+			}
+			ref := run(true)
+			if dense1 != ref {
+				t.Errorf("dense and reference flow paths disagree:\n  dense %+v\n  ref   %+v", dense1, ref)
+			}
+		})
+	}
+}

@@ -14,6 +14,7 @@ package sim
 
 import (
 	"fmt"
+	"slices"
 	"sort"
 
 	"github.com/atomic-dataflow/atomicflow/internal/atom"
@@ -93,6 +94,9 @@ func (c Config) Validate() error {
 	if c.Mesh == nil {
 		return fmt.Errorf("sim: nil mesh")
 	}
+	if c.BufferBytes < 0 {
+		return fmt.Errorf("sim: negative BufferBytes %d", c.BufferBytes)
+	}
 	if err := c.Engine.Validate(); err != nil {
 		return err
 	}
@@ -152,6 +156,7 @@ func Run(d *atom.DAG, s *schedule.Schedule, cfg Config) (Report, error) {
 	mapper := mapping.New(cfg.Mesh, d)
 	hbm := dram.New(cfg.DRAM)
 	orc := cost.Or(cfg.Oracle)
+	ar := newArena(cfg.Mesh)
 
 	var rep Report
 	rep.Rounds = s.NumRounds()
@@ -173,30 +178,40 @@ func Run(d *atom.DAG, s *schedule.Schedule, cfg Config) (Report, error) {
 		// --- DRAM reads: one aggregate request per engine. With double
 		// buffering the request is issued at the previous Round's start
 		// (prefetch); data is usable no earlier than this Round's start.
-		dramReady := make(map[int]int64, n)
+		ar.beginRound()
 		issueAt := now
 		if cfg.DoubleBuffer {
 			issueAt = prevStart
 		}
 		// Deterministic engine order.
-		engines := make([]int, 0, len(round.Atoms))
+		engines := ar.engines[:0]
 		for _, id := range round.Atoms {
 			engines = append(engines, placed.EngineOf[id])
 		}
-		sort.Ints(engines)
+		slices.Sort(engines)
+		ar.engines = engines
 		for _, e := range engines {
 			if b := io.DRAMReadBytes[e]; b > 0 {
 				done := hbm.Read(issueAt, b)
 				if done < now {
 					done = now
 				}
-				dramReady[e] = done
+				ar.setDRAMReady(e, done)
 			}
 		}
 
 		// --- NoC flows: link-level serialization along XY routes, with
 		// tagged weight broadcasts delivered as multicast trees.
-		nocReady, roundByteHops := simulateFlows(cfg.Mesh, io.Flows, now)
+		var roundByteHops int64
+		if useReferenceFlows {
+			ready, bh := simulateFlowsReference(cfg.Mesh, io.Flows, now)
+			for e, at := range ready {
+				ar.setNoCReady(e, at)
+			}
+			roundByteHops = bh
+		} else {
+			roundByteHops = ar.simulateFlows(io.Flows, now)
+		}
 
 		// --- Compute: engines stream inputs concurrently with execution
 		// (tile-level double buffering), so an engine finishes when both
@@ -211,13 +226,13 @@ func Run(d *atom.DAG, s *schedule.Schedule, cfg Config) (Report, error) {
 				maxComp = comp
 			}
 			end := now + comp
-			if r, ok := dramReady[e]; ok && r > end {
+			if r, ok := ar.getDRAMReady(e); ok && r > end {
 				end = r
 			}
 			if end > endNoNoC {
 				endNoNoC = end
 			}
-			if r, ok := nocReady[e]; ok && r > end {
+			if r, ok := ar.getNoCReady(e); ok && r > end {
 				end = r
 			}
 			if end > endAll {
@@ -300,13 +315,22 @@ func Run(d *atom.DAG, s *schedule.Schedule, cfg Config) (Report, error) {
 	return rep, nil
 }
 
-// simulateFlows serializes the Round's flows on shared links
+// useReferenceFlows routes Run through the map-based reference NoC path
+// below instead of the dense arena path (a test hook: the golden
+// determinism test proves both paths produce bit-identical Reports).
+var useReferenceFlows = false
+
+// simulateFlowsReference serializes the Round's flows on shared links
 // (deterministic order) and returns per-destination-engine arrival times
 // plus the Round's byte-hop volume. Unicast flows each occupy every link
 // of their XY route; flows sharing (Src, Tag != 0) carry one tensor to
 // many engines and occupy the union of their routes once (switch-level
 // replication, as in weight broadcast).
-func simulateFlows(mesh *noc.Mesh, flows []buffer.Flow, start int64) (map[int]int64, int64) {
+//
+// This is the executable specification of the NoC contention model; the
+// production path is arena.simulateFlows, which replays the same walk
+// over link-ID-indexed epoch-stamped slices without allocating.
+func simulateFlowsReference(mesh *noc.Mesh, flows []buffer.Flow, start int64) (map[int]int64, int64) {
 	type mkey struct {
 		src int
 		tag int64
@@ -314,11 +338,7 @@ func simulateFlows(mesh *noc.Mesh, flows []buffer.Flow, start int64) (map[int]in
 	groups := make(map[mkey][]buffer.Flow)
 	var order []mkey
 	for _, f := range flows {
-		k := mkey{src: f.Src, tag: f.Tag}
-		if f.Tag == 0 {
-			// Unicast: unique group per flow (dst disambiguates).
-			k = mkey{src: f.Src, tag: -int64(f.Dst) - 1}
-		}
+		k := mkey{src: f.Src, tag: f.GroupKey()}
 		if _, ok := groups[k]; !ok {
 			order = append(order, k)
 		}

@@ -144,6 +144,35 @@ func TestDoubleBufferHelps(t *testing.T) {
 	}
 }
 
+// runFlows executes the Round's flows through BOTH the dense arena path
+// and the map-based reference path, asserts they agree exactly, and
+// returns the (shared) result.
+func runFlows(t *testing.T, mesh *noc.Mesh, flows []buffer.Flow, start int64) (map[int]int64, int64) {
+	t.Helper()
+	refReady, refHops := simulateFlowsReference(mesh, flows, start)
+	a := newArena(mesh)
+	a.beginRound()
+	hops := a.simulateFlows(flows, start)
+	ready := make(map[int]int64)
+	for e := 0; e < mesh.Engines(); e++ {
+		if r, ok := a.getNoCReady(e); ok {
+			ready[e] = r
+		}
+	}
+	if hops != refHops {
+		t.Fatalf("byteHops: dense %d, reference %d", hops, refHops)
+	}
+	if len(ready) != len(refReady) {
+		t.Fatalf("arrivals: dense %v, reference %v", ready, refReady)
+	}
+	for e, r := range refReady {
+		if ready[e] != r {
+			t.Fatalf("engine %d arrival: dense %d, reference %d", e, ready[e], r)
+		}
+	}
+	return ready, hops
+}
+
 func TestSimulateFlowsContention(t *testing.T) {
 	mesh := noc.NewMesh(4, 1, 8)
 	// Two flows over the shared 0->1 link.
@@ -151,7 +180,7 @@ func TestSimulateFlowsContention(t *testing.T) {
 		{Src: 0, Dst: 2, Bytes: 800},
 		{Src: 0, Dst: 3, Bytes: 800},
 	}
-	ready, byteHops := simulateFlows(mesh, flows, 100)
+	ready, byteHops := runFlows(t, mesh, flows, 100)
 	// First flow: link0 busy [100,200), arrives 2 hops later.
 	if got := ready[2]; got != 100+100+2*1 {
 		t.Errorf("flow to 2 arrives at %d, want 202", got)
@@ -174,7 +203,7 @@ func TestSimulateFlowsMulticast(t *testing.T) {
 		{Src: 0, Dst: 2, Bytes: 800, Tag: 7},
 		{Src: 0, Dst: 3, Bytes: 800, Tag: 7},
 	}
-	ready, byteHops := simulateFlows(mesh, flows, 0)
+	ready, byteHops := runFlows(t, mesh, flows, 0)
 	if want := int64(800 * 3); byteHops != want { // 3 tree links
 		t.Errorf("multicast byteHops = %d, want %d", byteHops, want)
 	}
@@ -182,7 +211,7 @@ func TestSimulateFlowsMulticast(t *testing.T) {
 	for i := range flows {
 		flows[i].Tag = 0
 	}
-	_, uniHops := simulateFlows(mesh, flows, 0)
+	_, uniHops := runFlows(t, mesh, flows, 0)
 	if uniHops <= byteHops {
 		t.Errorf("unicast byteHops %d should exceed multicast %d", uniHops, byteHops)
 	}
@@ -193,7 +222,7 @@ func TestSimulateFlowsMulticast(t *testing.T) {
 
 func TestSimulateFlowsEmpty(t *testing.T) {
 	mesh := noc.NewMesh(2, 2, 8)
-	got, bh := simulateFlows(mesh, nil, 5)
+	got, bh := runFlows(t, mesh, nil, 5)
 	if len(got) != 0 || bh != 0 {
 		t.Errorf("empty flows produced arrivals: %v hops %d", got, bh)
 	}
