@@ -39,6 +39,7 @@ import (
 	"github.com/atomic-dataflow/atomicflow/internal/modelio"
 	"github.com/atomic-dataflow/atomicflow/internal/models"
 	"github.com/atomic-dataflow/atomicflow/internal/noc"
+	"github.com/atomic-dataflow/atomicflow/internal/obs"
 	"github.com/atomic-dataflow/atomicflow/internal/schedule"
 	"github.com/atomic-dataflow/atomicflow/internal/sim"
 	"github.com/atomic-dataflow/atomicflow/internal/trace"
@@ -81,6 +82,14 @@ type (
 	CostOracle = cost.Oracle
 	// OracleStats counts cost-oracle evaluations, cache hits and misses.
 	OracleStats = cost.Stats
+	// MetricsRegistry collects counters, gauges and histograms from the
+	// search, scheduler and simulator when installed via Options.Metrics.
+	// Nil registries (and all their instruments) are safe no-ops, so the
+	// same code runs instrumented or not.
+	MetricsRegistry = obs.Registry
+	// MetricsSnapshot is a point-in-time copy of a registry's instruments,
+	// exported by Solution.Metrics and (*MetricsRegistry).Snapshot.
+	MetricsSnapshot = obs.Snapshot
 )
 
 // Operator kinds.
@@ -155,6 +164,12 @@ func PaperWorkloads() []string { return append([]string(nil), models.PaperWorklo
 // 128 GB/s, 2D-mesh NoC.
 func DefaultHardware() HardwareConfig { return sim.DefaultConfig() }
 
+// NewMetrics returns an empty metrics registry. Install it as
+// Options.Metrics (or HardwareConfig.Metrics) to collect the run's
+// counters and histograms; export with WriteJSON, WritePrometheus or the
+// obs HTTP handler (cmd/adexp -metrics-addr serves both).
+func NewMetrics() *MetricsRegistry { return obs.New() }
+
 // NewCostOracle returns the standard instrumented memoizing cost oracle.
 // Set it as HardwareConfig.Oracle (or let Orchestrate build one per run)
 // to share one evaluation cache across searches, schedules and
@@ -181,6 +196,15 @@ type Options struct {
 	// document of the simulated execution (open in chrome://tracing or
 	// Perfetto; one lane per engine).
 	TraceWriter io.Writer
+	// PerfettoWriter, when non-nil, receives the full-span trace: engine
+	// compute lanes plus named NoC and DRAM lanes with blocked spans, the
+	// DRAM prefetch windows and a flow-bytes counter track (open in
+	// ui.perfetto.dev).
+	PerfettoWriter io.Writer
+	// Metrics, when non-nil, collects the run's counters and histograms
+	// across the SA search and the simulator (overrides
+	// Hardware.Metrics); Solution.Metrics holds the final snapshot.
+	Metrics *MetricsRegistry
 }
 
 func (o Options) batch() int {
@@ -216,6 +240,9 @@ type Solution struct {
 	// misses of this orchestration (zero when the configured oracle does
 	// not expose counters).
 	OracleStats OracleStats
+	// Metrics is the final snapshot of the run's metrics registry (zero
+	// maps when no registry was installed).
+	Metrics MetricsSnapshot
 
 	dag   *atom.DAG
 	sched *schedule.Schedule
@@ -237,12 +264,16 @@ func Orchestrate(g *Graph, opt Options) (*Solution, error) {
 	if hw.Oracle == nil {
 		hw.Oracle = cost.Default()
 	}
+	if opt.Metrics != nil {
+		hw.Metrics = opt.Metrics
+	}
 	start := time.Now()
 	res := anneal.SA(g, hw.Engine, hw.Dataflow, anneal.Options{
 		MaxIters:       opt.SAIters,
 		Seed:           opt.Seed,
 		MaxTilesPerLay: opt.MaxTilesPerLayer,
 		Oracle:         hw.Oracle,
+		Metrics:        hw.Metrics,
 	})
 	d, err := atom.Build(g, opt.batch(), res.Spec)
 	if err != nil {
@@ -259,12 +290,19 @@ func Orchestrate(g *Graph, opt Options) (*Solution, error) {
 		return nil, err
 	}
 	searchTime := time.Since(start)
-	if opt.TraceWriter != nil {
+	if opt.TraceWriter != nil || opt.PerfettoWriter != nil {
 		col := &trace.Collector{}
 		hw.Trace = col.Hook
 		defer func() {
-			if err := col.WriteChrome(opt.TraceWriter, g); err != nil {
-				fmt.Fprintf(opt.TraceWriter, `{"error": %q}`, err.Error())
+			if opt.TraceWriter != nil {
+				if err := col.WriteChrome(opt.TraceWriter, g); err != nil {
+					fmt.Fprintf(opt.TraceWriter, `{"error": %q}`, err.Error())
+				}
+			}
+			if opt.PerfettoWriter != nil {
+				if err := col.WritePerfetto(opt.PerfettoWriter, g); err != nil {
+					fmt.Fprintf(opt.PerfettoWriter, `{"error": %q}`, err.Error())
+				}
 			}
 		}()
 	}
@@ -285,6 +323,10 @@ func Orchestrate(g *Graph, opt Options) (*Solution, error) {
 	case *cost.Memo:
 		ostats = o.Stats()
 	}
+	var snap MetricsSnapshot
+	if hw.Metrics != nil {
+		snap = hw.Metrics.Snapshot()
+	}
 	return &Solution{
 		Report:      rep,
 		Atoms:       atoms,
@@ -293,6 +335,7 @@ func Orchestrate(g *Graph, opt Options) (*Solution, error) {
 		SATrace:     res.Trace,
 		SearchTime:  searchTime,
 		OracleStats: ostats,
+		Metrics:     snap,
 		dag:         d,
 		sched:       s,
 	}, nil

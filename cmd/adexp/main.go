@@ -17,11 +17,13 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+	rtrace "runtime/trace"
 	"strings"
 	"time"
 
 	"github.com/atomic-dataflow/atomicflow/internal/cost"
 	"github.com/atomic-dataflow/atomicflow/internal/experiments"
+	"github.com/atomic-dataflow/atomicflow/internal/obs"
 	"github.com/atomic-dataflow/atomicflow/internal/schedule"
 	"github.com/atomic-dataflow/atomicflow/internal/trace"
 )
@@ -41,6 +43,9 @@ func main() {
 		fast      = flag.Bool("fast", false, "reduced workload set for quick runs")
 		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf   = flag.String("memprofile", "", "write a heap profile to this file on exit")
+		execTrace = flag.String("exectrace", "", "write a runtime/trace execution trace to this file (view with go tool trace)")
+		metAddr   = flag.String("metrics-addr", "", "serve live /metrics, /metrics.json and /debug/pprof on this address (e.g. :8080)")
+		metJSON   = flag.String("metrics-json", "", "write the final metrics snapshot as JSON to this file")
 	)
 	flag.Parse()
 
@@ -73,6 +78,50 @@ func main() {
 		}()
 	}
 
+	if *execTrace != "" {
+		f, err := os.Create(*execTrace)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "adexp: -exectrace: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := rtrace.Start(f); err != nil {
+			fmt.Fprintf(os.Stderr, "adexp: -exectrace: %v\n", err)
+			os.Exit(1)
+		}
+		defer rtrace.Stop()
+	}
+
+	// One registry for the whole invocation: experiments accumulate into
+	// shared counters, served live via -metrics-addr and snapshotted at
+	// exit via -metrics-json.
+	var reg *obs.Registry
+	if *metAddr != "" || *metJSON != "" {
+		reg = obs.New()
+	}
+	if *metAddr != "" {
+		addr, _, err := obs.Serve(*metAddr, reg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "adexp: -metrics-addr: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "adexp: serving metrics on http://%s/metrics (pprof under /debug/pprof/)\n", addr)
+	}
+	if *metJSON != "" {
+		defer func() {
+			f, err := os.Create(*metJSON)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "adexp: -metrics-json: %v\n", err)
+				os.Exit(1)
+			}
+			defer f.Close()
+			if err := reg.WriteJSON(f); err != nil {
+				fmt.Fprintf(os.Stderr, "adexp: -metrics-json: %v\n", err)
+				os.Exit(1)
+			}
+		}()
+	}
+
 	// One instrumented memoizing oracle for the whole invocation: later
 	// experiments hit entries cached by earlier ones, and each experiment
 	// reports its own evaluations/hits/misses delta below.
@@ -84,6 +133,7 @@ func main() {
 		Mode:    schedule.Greedy,
 		Out:     os.Stdout,
 		Oracle:  orc,
+		Metrics: reg,
 	}
 	if *dp {
 		cfg.Mode = schedule.DP

@@ -32,6 +32,8 @@ func main() {
 		seed      = flag.Int64("seed", 1, "search seed")
 		baselines = flag.Bool("baselines", false, "also run LS, CNN-P, IL-Pipe and Rammer")
 		traceFile = flag.String("trace", "", "write a Chrome trace-event JSON of the AD execution to this file")
+		perfetto  = flag.String("perfetto", "", "write a full-span Perfetto trace (engine/NoC/DRAM lanes) to this file")
+		metJSON   = flag.String("metrics-json", "", "write the run's metrics snapshot as JSON to this file")
 	)
 	flag.Parse()
 
@@ -86,6 +88,18 @@ func main() {
 		opts.TraceWriter = f
 		defer fmt.Printf("trace written to %s (open in chrome://tracing)\n", *traceFile)
 	}
+	if *perfetto != "" {
+		f, err := os.Create(*perfetto)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		opts.PerfettoWriter = f
+		defer fmt.Printf("full-span trace written to %s (open in ui.perfetto.dev)\n", *perfetto)
+	}
+	if *metJSON != "" {
+		opts.Metrics = af.NewMetrics()
+	}
 	sol, err := af.Orchestrate(g, opts)
 	if err != nil {
 		fatal(err)
@@ -93,6 +107,17 @@ func main() {
 	printReport("atomic dataflow", sol.Report)
 	fmt.Printf("  atoms %d, rounds %d, atom-cycle CV %.3f, search %v\n",
 		sol.Atoms, sol.Rounds, sol.AtomCycleCV, sol.SearchTime.Round(1e6))
+	if *metJSON != "" {
+		f, err := os.Create(*metJSON)
+		if err != nil {
+			fatal(err)
+		}
+		if err := opts.Metrics.WriteJSON(f); err != nil {
+			fatal(err)
+		}
+		f.Close()
+		fmt.Printf("metrics snapshot written to %s\n", *metJSON)
+	}
 
 	if *baselines {
 		for _, b := range []struct {

@@ -18,6 +18,7 @@ import (
 	"github.com/atomic-dataflow/atomicflow/internal/codegen"
 	"github.com/atomic-dataflow/atomicflow/internal/models"
 	"github.com/atomic-dataflow/atomicflow/internal/noc"
+	"github.com/atomic-dataflow/atomicflow/internal/obs"
 	"github.com/atomic-dataflow/atomicflow/internal/schedule"
 	"github.com/atomic-dataflow/atomicflow/internal/sim"
 )
@@ -29,6 +30,7 @@ func main() {
 		engines  = flag.Int("engines", 4, "engine mesh side (engines x engines)")
 		engineID = flag.Int("engine-id", 0, "engine whose stream to print (-1: stats only)")
 		saIters  = flag.Int("sa-iters", 300, "SA iterations")
+		metJSON  = flag.String("metrics-json", "", "write the SA search metrics as JSON to this file")
 	)
 	flag.Parse()
 
@@ -39,7 +41,21 @@ func main() {
 	hw := sim.DefaultConfig()
 	hw.Mesh = noc.NewMesh(*engines, *engines, hw.Mesh.LinkBytes)
 
-	res := anneal.SA(g, hw.Engine, hw.Dataflow, anneal.Options{MaxIters: *saIters})
+	var reg *obs.Registry
+	if *metJSON != "" {
+		reg = obs.New()
+	}
+	res := anneal.SA(g, hw.Engine, hw.Dataflow, anneal.Options{MaxIters: *saIters, Metrics: reg})
+	if *metJSON != "" {
+		f, err := os.Create(*metJSON)
+		if err != nil {
+			fatal(err)
+		}
+		if err := reg.WriteJSON(f); err != nil {
+			fatal(err)
+		}
+		f.Close()
+	}
 	d, err := atom.Build(g, *batch, res.Spec)
 	if err != nil {
 		fatal(err)

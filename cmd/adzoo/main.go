@@ -10,6 +10,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -20,9 +21,10 @@ import (
 
 func main() {
 	var (
-		model  = flag.String("model", "", "dump one model's layers instead of the summary table")
-		dot    = flag.Bool("dot", false, "emit Graphviz DOT for -model")
-		export = flag.Bool("export", false, "emit the JSON exchange document for -model")
+		model    = flag.String("model", "", "dump one model's layers instead of the summary table")
+		dot      = flag.Bool("dot", false, "emit Graphviz DOT for -model")
+		export   = flag.Bool("export", false, "emit the JSON exchange document for -model")
+		jsonDump = flag.Bool("json", false, "emit the characterization table as JSON (machine-readable)")
 	)
 	flag.Parse()
 
@@ -48,6 +50,32 @@ func main() {
 			s := l.Shape
 			fmt.Printf("  %4d %-16s %-8s in %3dx%3dx%4d out %3dx%3dx%4d k%dx%d s%d depth %d\n",
 				l.ID, l.Name, l.Kind, s.Hi, s.Wi, s.Ci, s.Ho, s.Wo, s.Co, s.Kh, s.Kw, s.Stride, l.Depth)
+		}
+		return
+	}
+
+	if *jsonDump {
+		type row struct {
+			Model   string `json:"model"`
+			Layers  int    `json:"layers"`
+			Compute int    `json:"compute_layers"`
+			Params  int64  `json:"params"`
+			MACs    int64  `json:"macs"`
+			Depth   int    `json:"depth"`
+		}
+		var rows []row
+		for _, name := range models.Names() {
+			g := models.MustBuild(name)
+			rows = append(rows, row{
+				Model: name, Layers: g.NumLayers(), Compute: len(g.ComputeLayers()),
+				Params: g.TotalParams(), MACs: g.TotalMACs(), Depth: g.MaxDepth(),
+			})
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rows); err != nil {
+			fmt.Fprintln(os.Stderr, "adzoo:", err)
+			os.Exit(1)
 		}
 		return
 	}

@@ -11,6 +11,7 @@ import (
 	"github.com/atomic-dataflow/atomicflow/internal/cost"
 	"github.com/atomic-dataflow/atomicflow/internal/engine"
 	"github.com/atomic-dataflow/atomicflow/internal/graph"
+	"github.com/atomic-dataflow/atomicflow/internal/obs"
 )
 
 // Options tunes Algorithm 1. Zero values select the defaults noted on
@@ -30,6 +31,11 @@ type Options struct {
 	// search). Pass the run's shared oracle so candidate generation reuses
 	// evaluations cached by scheduling and simulation of the same workload.
 	Oracle cost.Oracle
+
+	// Metrics, when non-nil, receives the search's accept/reject
+	// counters, temperature trajectory and accepted energy deltas (see
+	// internal/obs). The nil default costs nothing.
+	Metrics *obs.Registry
 }
 
 func (o Options) maxIters() int {
@@ -117,6 +123,17 @@ func SA(g *graph.Graph, cfg engine.Config, df engine.Dataflow, opt Options) Resu
 	sctx := newSearch(g, cfg, df, opt)
 	rng := rand.New(rand.NewSource(opt.seed()))
 
+	// Search observability (all instruments are nil-safe no-ops when
+	// opt.Metrics is nil): Metropolis accept/reject rates, the
+	// temperature trajectory and the energy deltas of accepted moves.
+	mIters := opt.Metrics.Counter("anneal_iterations_total")
+	mAccepts := opt.Metrics.Counter("anneal_accepts_total")
+	mRejects := opt.Metrics.Counter("anneal_rejects_total")
+	mTempHist := opt.Metrics.Histogram("anneal_temperature", obs.ExpBuckets(1e-4, 2, 12))
+	mDelta := opt.Metrics.Histogram("anneal_accepted_energy_delta", obs.ExpBuckets(1, 8, 12))
+	mTempFinal := opt.Metrics.Gauge("anneal_temperature_final")
+	mFinalCV := opt.Metrics.Gauge("anneal_final_cv")
+
 	// Line 1-4: random initialization of every layer's atom size.
 	cur := sctx.randomState(rng)
 	// Line 5-7: initial unified cycle S = mean, energy E = Var.
@@ -142,10 +159,16 @@ func SA(g *graph.Graph, cfg engine.Config, df engine.Dataflow, opt Options) Resu
 		// squared coefficients of variation) so the temperature schedule
 		// is scale-free across workloads.
 		temp *= opt.lambda()
+		mIters.Inc()
+		mTempHist.Observe(temp)
 		p := math.Exp((E - Emove) / (opt.lambda() * temp * (S*S + 1)))
 		if rng.Float64() <= p {
+			mAccepts.Inc()
+			mDelta.Observe(math.Abs(E - Emove))
 			cur, E, S = next, Emove, sctx.mean(next)
 			lenAbs = S * opt.lenFrac()
+		} else {
+			mRejects.Inc()
 		}
 		if E < bestE {
 			best, bestE, bestS = cur, E, S
@@ -171,7 +194,10 @@ func SA(g *graph.Graph, cfg engine.Config, df engine.Dataflow, opt Options) Resu
 	if n := len(trace); n > 0 && bestE < trace[n-1] {
 		trace = append(trace, bestE)
 	}
-	return sctx.finish(best, bestE, bestS, trace, iters)
+	mTempFinal.Set(temp)
+	res := sctx.finish(best, bestE, bestS, trace, iters)
+	mFinalCV.Set(res.FinalCV)
+	return res
 }
 
 // search carries the immutable per-layer candidate lists.

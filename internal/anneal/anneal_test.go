@@ -9,6 +9,7 @@ import (
 	"github.com/atomic-dataflow/atomicflow/internal/engine"
 	"github.com/atomic-dataflow/atomicflow/internal/graph"
 	"github.com/atomic-dataflow/atomicflow/internal/models"
+	"github.com/atomic-dataflow/atomicflow/internal/obs"
 )
 
 func TestSplitSizes(t *testing.T) {
@@ -365,5 +366,34 @@ func TestSAOracleHitRate(t *testing.T) {
 	}
 	if hr := st.HitRate(); hr <= 0.5 {
 		t.Errorf("SA hit rate %.1f%% on resnet50, want > 50%%", 100*hr)
+	}
+}
+
+func TestSAMetrics(t *testing.T) {
+	g := models.MustBuild("tinyconv")
+	reg := obs.New()
+	res := SA(g, engine.Default(), engine.KCPartition,
+		Options{MaxIters: 100, Seed: 42, Metrics: reg})
+	snap := reg.Snapshot()
+	iters := snap.Counter("anneal_iterations_total")
+	if iters != int64(res.Iters) {
+		t.Errorf("anneal_iterations_total = %d, want %d", iters, res.Iters)
+	}
+	if got := snap.Counter("anneal_accepts_total") + snap.Counter("anneal_rejects_total"); got != iters {
+		t.Errorf("accepts+rejects = %d, want %d", got, iters)
+	}
+	if snap.Histograms["anneal_temperature"].Count != iters {
+		t.Errorf("temperature trajectory has %d points, want %d",
+			snap.Histograms["anneal_temperature"].Count, iters)
+	}
+	if snap.Gauge("anneal_temperature_final") <= 0 {
+		t.Error("final temperature not recorded")
+	}
+
+	// Instrumentation must not perturb the seeded trajectory.
+	plain := SA(g, engine.Default(), engine.KCPartition, Options{MaxIters: 100, Seed: 42})
+	if plain.FinalVar != res.FinalVar || plain.Iters != res.Iters {
+		t.Errorf("metrics changed the search: %v/%d vs %v/%d",
+			plain.FinalVar, plain.Iters, res.FinalVar, res.Iters)
 	}
 }

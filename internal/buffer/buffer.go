@@ -115,6 +115,7 @@ type Manager struct {
 	wRounds   map[wkey][]int32 // weight key -> sorted rounds where used
 
 	evictions int64
+	highWater int64 // largest bytes any engine's buffer ever held
 }
 
 // New builds a Manager for the DAG and schedule on `engines` buffers of
@@ -193,6 +194,13 @@ func (m *Manager) HasWeights(e, id int) bool {
 
 // Evictions returns the cumulative number of overflow write-backs.
 func (m *Manager) Evictions() int64 { return m.evictions }
+
+// HighWater returns the largest byte count any engine's buffer held at
+// any point of the replay — how close the schedule came to capacity.
+func (m *Manager) HighWater() int64 { return m.highWater }
+
+// Capacity returns the per-engine buffer capacity in bytes.
+func (m *Manager) Capacity() int64 { return m.capacity }
 
 // ExecuteRound replays Round t with the given atom placement and returns
 // its IO. Rounds must be executed in order starting from 0.
@@ -325,6 +333,9 @@ func (m *Manager) store(e int, ent *entry, t int, io *RoundIO) {
 		}
 	}
 	m.used[e] += ent.bytes
+	if m.used[e] > m.highWater {
+		m.highWater = m.used[e]
+	}
 	if ent.kind == kindOutput {
 		m.buffers[e][ent.atom] = ent
 	} else {

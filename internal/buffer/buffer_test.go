@@ -114,6 +114,23 @@ func TestTinyBufferEvicts(t *testing.T) {
 	}
 }
 
+func TestHighWaterTracksOccupancy(t *testing.T) {
+	d, s := pipeline(t, "tinyconv", 1, 4)
+	_, m := replay(t, d, s, 4, 16<<20)
+	hw := m.HighWater()
+	if hw <= 0 {
+		t.Fatal("no occupancy recorded")
+	}
+	if hw > m.Capacity() {
+		t.Fatalf("high-water %d exceeds capacity %d", hw, m.Capacity())
+	}
+	// A tighter buffer can never raise the high-water mark.
+	_, mTiny := replay(t, d, s, 4, 4<<10)
+	if mTiny.HighWater() > 4<<10 {
+		t.Errorf("tiny-buffer high-water %d exceeds its capacity", mTiny.HighWater())
+	}
+}
+
 func TestWeightCaching(t *testing.T) {
 	// Same-layer atoms scheduled over consecutive rounds on one engine
 	// with identical co-ranges must fetch weights once.

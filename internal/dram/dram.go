@@ -14,6 +14,12 @@ type Config struct {
 	Channels       int     // independent channels (HBM: 8)
 	AccessLatency  int64   // fixed per-request latency in engine cycles
 	EngineClockMHz float64 // clock used to convert bandwidth to bytes/cycle
+	// RowBytes is the DRAM row-buffer size used for row hit/miss
+	// accounting (default 2 KB when zero). It prices nothing — requests
+	// are streaming, so the timing model already amortizes activations
+	// into AccessLatency — but the hit/miss split is the observability
+	// signal Ramulator would report for the same access stream.
+	RowBytes int64
 }
 
 // Default returns the paper's HBM configuration at a 500 MHz engine clock.
@@ -24,7 +30,20 @@ func Default() Config {
 		Channels:       8,
 		AccessLatency:  60, // ~120 ns row activate + CAS at 500 MHz
 		EngineClockMHz: 500,
+		RowBytes:       2 << 10,
 	}
+}
+
+// burstBytes is the transfer granularity of the hit/miss accounting: one
+// 32 B access per burst, the HBM pseudo-channel burst length.
+const burstBytes = 32
+
+// rowBytes returns the effective row-buffer size.
+func (c Config) rowBytes() int64 {
+	if c.RowBytes > 0 {
+		return c.RowBytes
+	}
+	return 2 << 10
 }
 
 // BytesPerCycle returns the aggregate bandwidth in bytes per engine cycle.
@@ -37,6 +56,9 @@ func (c Config) Validate() error {
 	if c.CapacityBytes <= 0 || c.PeakGBps <= 0 || c.Channels <= 0 || c.EngineClockMHz <= 0 {
 		return fmt.Errorf("dram: invalid config %+v", c)
 	}
+	if c.RowBytes < 0 {
+		return fmt.Errorf("dram: negative RowBytes %d", c.RowBytes)
+	}
 	return nil
 }
 
@@ -48,6 +70,29 @@ type HBM struct {
 	chanFree     []int64 // absolute cycle at which each channel is next free
 	bytesRead    int64
 	bytesWritten int64
+	stats        Stats
+}
+
+// Stats is the HBM model's cumulative accounting — the quantities a
+// Ramulator trace of the same access stream would expose. Row hits and
+// misses follow an open-row streaming model: a request of n bytes makes
+// ceil(n/burstBytes) accesses of which ceil(n/RowBytes) activate a new
+// row (misses) and the rest stream from the open row (hits).
+type Stats struct {
+	Reads           int64 // read requests served
+	Writes          int64 // write requests served
+	RowHits         int64
+	RowMisses       int64
+	QueueWaitCycles int64 // Σ cycles requests waited for a free channel
+	QueueDepthPeak  int64 // most channels simultaneously busy at any issue
+}
+
+// RowHitRate returns RowHits/(RowHits+RowMisses), 0 when idle.
+func (s Stats) RowHitRate() float64 {
+	if s.RowHits+s.RowMisses == 0 {
+		return 0
+	}
+	return float64(s.RowHits) / float64(s.RowHits+s.RowMisses)
 }
 
 // New returns an idle HBM model.
@@ -70,6 +115,9 @@ func (h *HBM) perChannelBytesPerCycle() float64 {
 // completion cycle.
 func (h *HBM) Read(now, n int64) int64 {
 	h.bytesRead += n
+	if n > 0 {
+		h.stats.Reads++
+	}
 	return h.serve(now, n)
 }
 
@@ -77,12 +125,33 @@ func (h *HBM) Read(now, n int64) int64 {
 // completion cycle.
 func (h *HBM) Write(now, n int64) int64 {
 	h.bytesWritten += n
+	if n > 0 {
+		h.stats.Writes++
+	}
 	return h.serve(now, n)
 }
 
 func (h *HBM) serve(now, n int64) int64 {
 	if n <= 0 {
 		return now
+	}
+	// Row hit/miss accounting (timing is unaffected; see Stats).
+	bursts := (n + burstBytes - 1) / burstBytes
+	misses := (n + h.cfg.rowBytes() - 1) / h.cfg.rowBytes()
+	if misses > bursts {
+		misses = bursts
+	}
+	h.stats.RowMisses += misses
+	h.stats.RowHits += bursts - misses
+	// Queue depth at issue: channels still busy at `now`.
+	depth := int64(0)
+	for _, f := range h.chanFree {
+		if f > now {
+			depth++
+		}
+	}
+	if depth > h.stats.QueueDepthPeak {
+		h.stats.QueueDepthPeak = depth
 	}
 	// Pick the earliest-free channel.
 	best := 0
@@ -94,6 +163,7 @@ func (h *HBM) serve(now, n int64) int64 {
 	start := now
 	if h.chanFree[best] > start {
 		start = h.chanFree[best]
+		h.stats.QueueWaitCycles += start - now
 	}
 	xfer := int64(float64(n)/h.perChannelBytesPerCycle()) + 1
 	done := start + h.cfg.AccessLatency + xfer
@@ -113,10 +183,14 @@ func (h *HBM) StreamCycles(n int64) int64 {
 // Traffic returns cumulative bytes read and written.
 func (h *HBM) Traffic() (read, written int64) { return h.bytesRead, h.bytesWritten }
 
+// Stats returns the cumulative request accounting.
+func (h *HBM) Stats() Stats { return h.stats }
+
 // Reset clears all queue state and counters.
 func (h *HBM) Reset() {
 	for i := range h.chanFree {
 		h.chanFree[i] = 0
 	}
 	h.bytesRead, h.bytesWritten = 0, 0
+	h.stats = Stats{}
 }

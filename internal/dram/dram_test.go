@@ -101,4 +101,71 @@ func TestValidate(t *testing.T) {
 	if err := bad.Validate(); err == nil {
 		t.Error("0 channels accepted")
 	}
+	bad = Default()
+	bad.RowBytes = -1
+	if err := bad.Validate(); err == nil {
+		t.Error("negative RowBytes accepted")
+	}
+}
+
+func TestRowHitMissAccounting(t *testing.T) {
+	h := New(Default())
+	// One 2 KB row = 64 bursts of 32 B: reading exactly one row is 1
+	// activation (miss) + 63 open-row hits.
+	h.Read(0, 2<<10)
+	st := h.Stats()
+	if st.Reads != 1 || st.RowMisses != 1 || st.RowHits != 63 {
+		t.Errorf("one-row read stats = %+v, want 1 read, 1 miss, 63 hits", st)
+	}
+	// A 4-row streaming read activates 4 rows.
+	h.Read(0, 8<<10)
+	st = h.Stats()
+	if st.RowMisses != 5 {
+		t.Errorf("RowMisses = %d, want 5", st.RowMisses)
+	}
+	if got, want := st.RowHitRate(), float64(st.RowHits)/float64(st.RowHits+st.RowMisses); got != want {
+		t.Errorf("RowHitRate = %v, want %v", got, want)
+	}
+	// A sub-burst request is a single miss, never negative hits.
+	h2 := New(Default())
+	h2.Read(0, 8)
+	if st := h2.Stats(); st.RowMisses != 1 || st.RowHits != 0 {
+		t.Errorf("tiny read stats = %+v", st)
+	}
+}
+
+func TestQueueStats(t *testing.T) {
+	h := New(Default())
+	// Saturate all 8 channels, then one more request must wait.
+	for i := 0; i < 8; i++ {
+		h.Read(0, 3200)
+	}
+	if st := h.Stats(); st.QueueWaitCycles != 0 {
+		t.Errorf("parallel requests waited %d cycles", st.QueueWaitCycles)
+	}
+	h.Read(0, 3200)
+	st := h.Stats()
+	if st.QueueWaitCycles <= 0 {
+		t.Error("queued request recorded no wait")
+	}
+	if st.QueueDepthPeak != 8 {
+		t.Errorf("QueueDepthPeak = %d, want 8", st.QueueDepthPeak)
+	}
+	h.Reset()
+	if st := h.Stats(); st != (Stats{}) {
+		t.Errorf("stats after Reset = %+v", st)
+	}
+}
+
+func TestRowBytesZeroDefaults(t *testing.T) {
+	cfg := Default()
+	cfg.RowBytes = 0 // legacy configs predate the field
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	h := New(cfg)
+	h.Read(0, 2<<10)
+	if st := h.Stats(); st.RowMisses != 1 {
+		t.Errorf("zero RowBytes: misses = %d, want 1 (2 KB default)", st.RowMisses)
+	}
 }

@@ -21,6 +21,7 @@ import (
 	"github.com/atomic-dataflow/atomicflow/internal/engine"
 	"github.com/atomic-dataflow/atomicflow/internal/graph"
 	"github.com/atomic-dataflow/atomicflow/internal/models"
+	"github.com/atomic-dataflow/atomicflow/internal/obs"
 	"github.com/atomic-dataflow/atomicflow/internal/schedule"
 	"github.com/atomic-dataflow/atomicflow/internal/sim"
 )
@@ -49,6 +50,11 @@ type Config struct {
 	// instrumented oracle for the entire invocation and prints its
 	// evaluations/hits/misses per experiment.
 	Oracle cost.Oracle
+	// Metrics, when non-nil, collects counters and histograms across
+	// every simulation of the experiment (see internal/obs). cmd/adexp
+	// wires one registry for the whole invocation and can serve it live
+	// (-metrics-addr) or dump a snapshot (-metrics-json).
+	Metrics *obs.Registry
 }
 
 // hw assembles the hardware model with the run's cost oracle installed.
@@ -62,6 +68,9 @@ func (c Config) hw() sim.Config {
 	}
 	if hw.Oracle == nil {
 		hw.Oracle = cost.Or(c.Oracle)
+	}
+	if hw.Metrics == nil {
+		hw.Metrics = c.Metrics
 	}
 	return hw
 }
@@ -119,7 +128,7 @@ type adPipeline struct {
 // scheduling and the later simulation share one cache.
 func buildAD(g *graph.Graph, batch int, hw sim.Config, mode schedule.Mode, saIters int, seed int64) (*adPipeline, error) {
 	sa := anneal.SA(g, hw.Engine, hw.Dataflow, anneal.Options{
-		MaxIters: saIters, Seed: seed, Oracle: hw.Oracle})
+		MaxIters: saIters, Seed: seed, Oracle: hw.Oracle, Metrics: hw.Metrics})
 	d, err := atom.Build(g, batch, sa.Spec)
 	if err != nil {
 		return nil, err

@@ -1,0 +1,73 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"github.com/atomic-dataflow/atomicflow/internal/obs"
+)
+
+// TestFig8Metrics runs a small fig8-style comparison with a registry
+// installed and checks the acceptance quantities — engine utilization,
+// link traffic, DRAM row hits, barrier waits — come out non-zero through
+// both exporters.
+func TestFig8Metrics(t *testing.T) {
+	reg := obs.New()
+	cfg := Config{
+		Workloads: []string{"tinyresnet"},
+		SAIters:   60,
+		Metrics:   reg,
+	}
+	if _, err := Fig8(cfg); err != nil {
+		t.Fatal(err)
+	}
+
+	snap := reg.Snapshot()
+	for _, name := range []string{
+		obs.Name("sim_engine_busy_cycles", "engine", 0),
+		"noc_link_bytes_total",
+		"dram_row_hits_total",
+		"anneal_iterations_total",
+	} {
+		if snap.Counter(name) == 0 {
+			t.Errorf("%s = 0, want > 0", name)
+		}
+	}
+	if snap.Gauge("sim_pe_utilization") == 0 {
+		t.Error("sim_pe_utilization = 0, want > 0")
+	}
+	bw, ok := snap.Histograms["sim_barrier_wait_cycles"]
+	if !ok || bw.Count == 0 {
+		t.Errorf("sim_barrier_wait_cycles empty: %+v", bw)
+	}
+
+	var prom bytes.Buffer
+	if err := reg.WritePrometheus(&prom); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		`sim_engine_busy_cycles{engine="0"}`,
+		"noc_link_bytes_total",
+		"dram_row_hits_total",
+		"sim_barrier_wait_cycles_count",
+		"# TYPE sim_barrier_wait_cycles histogram",
+	} {
+		if !strings.Contains(prom.String(), want) {
+			t.Errorf("prometheus exposition missing %q", want)
+		}
+	}
+
+	var js bytes.Buffer
+	if err := reg.WriteJSON(&js); err != nil {
+		t.Fatal(err)
+	}
+	var decoded obs.Snapshot
+	if err := json.Unmarshal(js.Bytes(), &decoded); err != nil {
+		t.Fatalf("JSON exporter produced invalid JSON: %v", err)
+	}
+	if decoded.Counter("noc_link_bytes_total") != snap.Counter("noc_link_bytes_total") {
+		t.Error("JSON round-trip diverged from snapshot")
+	}
+}

@@ -9,6 +9,7 @@ package noc
 import (
 	"fmt"
 	"sync"
+	"time"
 )
 
 // Mesh is a W x H grid of engines. Engine e sits at (e % W, e / W).
@@ -28,6 +29,7 @@ type Mesh struct {
 
 	routeOnce sync.Once
 	routes    *routeTable
+	buildTime time.Duration // wall time of the one-time table build
 }
 
 // NewMesh builds a mesh; linkBytes is the per-cycle link bandwidth.

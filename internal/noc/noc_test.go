@@ -208,3 +208,14 @@ func TestHopsMetricProperty(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestRouteBuildTimeRecorded(t *testing.T) {
+	m := NewMesh(4, 4, 8)
+	d := m.RouteBuildTime()
+	if d <= 0 {
+		t.Fatalf("RouteBuildTime = %v, want > 0", d)
+	}
+	if again := m.RouteBuildTime(); again != d {
+		t.Errorf("RouteBuildTime changed across calls: %v then %v", d, again)
+	}
+}

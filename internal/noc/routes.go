@@ -1,6 +1,9 @@
 package noc
 
-import "fmt"
+import (
+	"fmt"
+	"time"
+)
 
 // routeTable is the dense all-pairs routing state of a Mesh, built lazily
 // once per mesh (mesh, torus and H-tree alike) and shared by every
@@ -29,6 +32,8 @@ func (m *Mesh) table() *routeTable {
 }
 
 func (m *Mesh) buildTable() {
+	start := time.Now()
+	defer func() { m.buildTime = time.Since(start) }()
 	n := m.Engines()
 	rt := &routeTable{
 		n:    n,
@@ -63,6 +68,14 @@ func (m *Mesh) buildTable() {
 // NumLinks returns the number of distinct directed links any route on the
 // mesh traverses — the index space of RouteIDs and Traffic link state.
 func (m *Mesh) NumLinks() int { return m.table().numLinks }
+
+// RouteBuildTime returns how long the all-pairs route table took to
+// build, forcing the build if it has not happened yet. The one-time cost
+// is the quantity the metrics layer reports as noc_route_build_seconds.
+func (m *Mesh) RouteBuildTime() time.Duration {
+	m.table()
+	return m.buildTime
+}
 
 // RouteIDs returns the route from i to j as link IDs into 0..NumLinks()-1.
 // The slice aliases the shared route table: callers must not modify it.

@@ -1,0 +1,185 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+)
+
+// HistogramSnapshot is one histogram's state at snapshot time.
+type HistogramSnapshot struct {
+	Bounds  []float64 `json:"bounds"`  // bucket upper bounds (+Inf implicit)
+	Buckets []int64   `json:"buckets"` // per-bucket counts, len(Bounds)+1
+	Count   int64     `json:"count"`
+	Sum     float64   `json:"sum"`
+}
+
+// Snapshot is a point-in-time copy of a registry, JSON-serializable with
+// deterministic key order (encoding/json sorts map keys).
+type Snapshot struct {
+	Counters   map[string]int64             `json:"counters,omitempty"`
+	Gauges     map[string]float64           `json:"gauges,omitempty"`
+	Histograms map[string]HistogramSnapshot `json:"histograms,omitempty"`
+}
+
+// Counter returns the snapshot's value for name (0 when absent).
+func (s Snapshot) Counter(name string) int64 { return s.Counters[name] }
+
+// Gauge returns the snapshot's value for name (0 when absent).
+func (s Snapshot) Gauge(name string) float64 { return s.Gauges[name] }
+
+// Snapshot copies the registry's current state. A nil registry yields the
+// zero Snapshot.
+func (r *Registry) Snapshot() Snapshot {
+	var s Snapshot
+	if r == nil {
+		return s
+	}
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if len(r.counters) > 0 {
+		s.Counters = make(map[string]int64, len(r.counters))
+		for n, c := range r.counters {
+			s.Counters[n] = c.Value()
+		}
+	}
+	if len(r.gauges) > 0 {
+		s.Gauges = make(map[string]float64, len(r.gauges))
+		for n, g := range r.gauges {
+			s.Gauges[n] = g.Value()
+		}
+	}
+	if len(r.hists) > 0 {
+		s.Histograms = make(map[string]HistogramSnapshot, len(r.hists))
+		for n, h := range r.hists {
+			hs := HistogramSnapshot{
+				Bounds:  append([]float64(nil), h.bounds...),
+				Buckets: make([]int64, len(h.buckets)),
+				Count:   h.Count(),
+				Sum:     h.Sum(),
+			}
+			for i := range h.buckets {
+				hs.Buckets[i] = h.buckets[i].Load()
+			}
+			s.Histograms[n] = hs
+		}
+	}
+	return s
+}
+
+// WriteJSON writes the registry snapshot as indented JSON.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r.Snapshot())
+}
+
+// baseName strips a Name()-style label suffix for # TYPE lines.
+func baseName(name string) string {
+	if i := strings.IndexByte(name, '{'); i >= 0 {
+		return name[:i]
+	}
+	return name
+}
+
+// labeledBucket splices an le label into a (possibly labeled) histogram
+// name: x -> x_bucket{le="10"}, x{e="3"} -> x_bucket{e="3",le="10"}.
+func labeledBucket(name, le string) string {
+	if i := strings.IndexByte(name, '{'); i >= 0 {
+		return name[:i] + "_bucket" + name[i:len(name)-1] + `,le="` + le + `"}`
+	}
+	return name + `_bucket{le="` + le + `"}`
+}
+
+// suffixed appends a suffix to a histogram's base name, preserving labels.
+func suffixed(name, suffix string) string {
+	if i := strings.IndexByte(name, '{'); i >= 0 {
+		return name[:i] + suffix + name[i:]
+	}
+	return name + suffix
+}
+
+func formatFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	}
+	return fmt.Sprintf("%g", v)
+}
+
+// WritePrometheus renders the registry in the Prometheus text exposition
+// format (version 0.0.4), sorted by instrument name so scrapes and golden
+// tests are deterministic. A nil registry writes nothing.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	snap := r.Snapshot()
+	typed := make(map[string]bool) // base names that already got a TYPE line
+	typeLine := func(base, kind string) string {
+		if typed[base] {
+			return ""
+		}
+		typed[base] = true
+		return "# TYPE " + base + " " + kind + "\n"
+	}
+
+	names := make([]string, 0, len(snap.Counters))
+	for n := range snap.Counters {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		if _, err := io.WriteString(w, typeLine(baseName(n), "counter")); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s %d\n", n, snap.Counters[n]); err != nil {
+			return err
+		}
+	}
+
+	names = names[:0]
+	for n := range snap.Gauges {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		if _, err := io.WriteString(w, typeLine(baseName(n), "gauge")); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s %s\n", n, formatFloat(snap.Gauges[n])); err != nil {
+			return err
+		}
+	}
+
+	names = names[:0]
+	for n := range snap.Histograms {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		h := snap.Histograms[n]
+		if _, err := io.WriteString(w, typeLine(baseName(n), "histogram")); err != nil {
+			return err
+		}
+		cum := int64(0)
+		for i, b := range h.Bounds {
+			cum += h.Buckets[i]
+			if _, err := fmt.Fprintf(w, "%s %d\n", labeledBucket(n, formatFloat(b)), cum); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%s %d\n", labeledBucket(n, "+Inf"), h.Count); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s %s\n", suffixed(n, "_sum"), formatFloat(h.Sum)); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s %d\n", suffixed(n, "_count"), h.Count); err != nil {
+			return err
+		}
+	}
+	return nil
+}

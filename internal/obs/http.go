@@ -1,0 +1,47 @@
+package obs
+
+import (
+	"net"
+	"net/http"
+	"net/http/pprof"
+)
+
+// Handler serves the registry over HTTP:
+//
+//	/metrics       Prometheus text exposition
+//	/metrics.json  JSON snapshot
+//	/debug/pprof/  the standard Go profiling endpoints
+//
+// Mount it on a loopback listener during long sweeps so progress and
+// profiles are observable without stopping the run.
+func Handler(r *Registry) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = r.WritePrometheus(w)
+	})
+	mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = r.WriteJSON(w)
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// Serve starts Handler(r) on addr in a background goroutine and returns
+// the bound address (useful with ":0") and the server for shutdown. The
+// caller owns the server; errors after startup are dropped, matching the
+// fire-and-forget role of a diagnostics endpoint.
+func Serve(addr string, r *Registry) (string, *http.Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", nil, err
+	}
+	srv := &http.Server{Handler: Handler(r)}
+	go func() { _ = srv.Serve(ln) }()
+	return ln.Addr().String(), srv, nil
+}

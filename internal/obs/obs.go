@@ -1,0 +1,279 @@
+// Package obs is the repository's metrics layer: a stdlib-only registry
+// of counters, gauges and fixed-bucket histograms with Prometheus-text
+// and JSON exporters, plus an optional net/http endpoint (see http.go).
+//
+// The design contract is that instrumentation may live on hot paths
+// permanently. Every instrument is nil-safe: methods on a nil *Counter,
+// *Gauge, *Histogram or a zero Span are no-ops, and a nil *Registry hands
+// out nil instruments — so code compiled against the instrumented path
+// pays one predictable nil check when metrics are disabled (verified by
+// BenchmarkCounterDisabled in bench_test.go). Enabled instruments update
+// via atomics and are safe for concurrent use.
+//
+// Instruments are identified by a Prometheus-style name, optionally with
+// a label suffix built by Name ("sim_engine_busy_cycles{engine=\"3\"}").
+// Registration is idempotent: asking for an existing name returns the
+// same instrument, so long-lived registries accumulate across runs.
+package obs
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing int64. The nil Counter discards
+// updates.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add increments the counter by n (no-op on nil).
+func (c *Counter) Add(n int64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Inc increments the counter by one (no-op on nil).
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count (0 on nil).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a float64 that can go up and down (set-only semantics: last
+// write wins). The nil Gauge discards updates.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set stores v (no-op on nil).
+func (g *Gauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.bits.Store(math.Float64bits(v))
+}
+
+// SetInt stores an integer value (no-op on nil).
+func (g *Gauge) SetInt(v int64) { g.Set(float64(v)) }
+
+// Max raises the gauge to v if v exceeds the current value (no-op on
+// nil) — high-water marks.
+func (g *Gauge) Max(v float64) {
+	if g == nil {
+		return
+	}
+	for {
+		old := g.bits.Load()
+		if math.Float64frombits(old) >= v {
+			return
+		}
+		if g.bits.CompareAndSwap(old, math.Float64bits(v)) {
+			return
+		}
+	}
+}
+
+// Value returns the current value (0 on nil).
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// Histogram counts observations into fixed buckets (cumulative,
+// Prometheus-style: bucket i counts observations <= Bounds[i], with an
+// implicit +Inf bucket at the end). The nil Histogram discards
+// observations.
+type Histogram struct {
+	bounds  []float64
+	buckets []atomic.Int64 // len(bounds)+1; last is +Inf
+	count   atomic.Int64
+	sumBits atomic.Uint64 // float64 bits, CAS-updated
+}
+
+// Observe records one value (no-op on nil).
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.buckets[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		nw := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, nw) {
+			return
+		}
+	}
+}
+
+// ObserveInt records one integer value (no-op on nil).
+func (h *Histogram) ObserveInt(v int64) { h.Observe(float64(v)) }
+
+// Count returns the number of observations (0 on nil).
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of observed values (0 on nil).
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return math.Float64frombits(h.sumBits.Load())
+}
+
+// Span measures one timed section into a histogram of seconds. The zero
+// Span (from a nil histogram) costs nothing, not even a clock read.
+type Span struct {
+	h  *Histogram
+	t0 time.Time
+}
+
+// StartSpan begins timing into h. A nil h yields a free no-op Span.
+func StartSpan(h *Histogram) Span {
+	if h == nil {
+		return Span{}
+	}
+	return Span{h: h, t0: time.Now()}
+}
+
+// End records the elapsed seconds (no-op on the zero Span).
+func (s Span) End() {
+	if s.h == nil {
+		return
+	}
+	s.h.Observe(time.Since(s.t0).Seconds())
+}
+
+// Registry holds named instruments. The nil Registry hands out nil
+// instruments, making every consumer's disabled path free. Safe for
+// concurrent use.
+type Registry struct {
+	mu       sync.RWMutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+}
+
+// New returns an empty enabled registry.
+func New() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		hists:    make(map[string]*Histogram),
+	}
+}
+
+// Counter returns the named counter, registering it on first use (nil on
+// a nil registry).
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	c := r.counters[name]
+	r.mu.RUnlock()
+	if c != nil {
+		return c
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c = r.counters[name]; c == nil {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, registering it on first use (nil on a
+// nil registry).
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	g := r.gauges[name]
+	r.mu.RUnlock()
+	if g != nil {
+		return g
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if g = r.gauges[name]; g == nil {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named histogram with the given bucket upper
+// bounds (sorted ascending; +Inf is implicit), registering it on first
+// use (nil on a nil registry). Later calls with the same name reuse the
+// first registration's buckets.
+func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	h := r.hists[name]
+	r.mu.RUnlock()
+	if h != nil {
+		return h
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h = r.hists[name]; h == nil {
+		bs := append([]float64(nil), bounds...)
+		sort.Float64s(bs)
+		h = &Histogram{bounds: bs, buckets: make([]atomic.Int64, len(bs)+1)}
+		r.hists[name] = h
+	}
+	return h
+}
+
+// Name builds a labeled instrument name: Name("x", "engine", 3) returns
+// `x{engine="3"}`. Use at registration time, not on hot paths.
+func Name(base, label string, value any) string {
+	var v string
+	switch x := value.(type) {
+	case string:
+		v = x
+	case int:
+		v = strconv.Itoa(x)
+	case int64:
+		v = strconv.FormatInt(x, 10)
+	default:
+		v = fmt.Sprint(x)
+	}
+	return base + `{` + label + `="` + v + `"}`
+}
+
+// ExpBuckets returns n histogram bounds growing geometrically from start
+// by factor — the standard shape for cycle and byte distributions.
+func ExpBuckets(start, factor float64, n int) []float64 {
+	bs := make([]float64, n)
+	v := start
+	for i := range bs {
+		bs[i] = v
+		v *= factor
+	}
+	return bs
+}

@@ -1,0 +1,248 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"math"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestNilSafety(t *testing.T) {
+	var r *Registry
+	c := r.Counter("c")
+	g := r.Gauge("g")
+	h := r.Histogram("h", []float64{1, 2})
+	if c != nil || g != nil || h != nil {
+		t.Fatal("nil registry must hand out nil instruments")
+	}
+	// None of these may panic.
+	c.Add(5)
+	c.Inc()
+	g.Set(1.5)
+	g.Max(2)
+	h.Observe(1)
+	h.ObserveInt(3)
+	sp := StartSpan(h)
+	sp.End()
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 || h.Sum() != 0 {
+		t.Fatal("nil instruments must read as zero")
+	}
+	snap := r.Snapshot()
+	if snap.Counters != nil || snap.Gauges != nil || snap.Histograms != nil {
+		t.Fatal("nil registry snapshot must be empty")
+	}
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() != 0 {
+		t.Fatalf("nil registry exposition: %q", buf.String())
+	}
+}
+
+func TestRegistrationIdempotent(t *testing.T) {
+	r := New()
+	if r.Counter("x") != r.Counter("x") {
+		t.Error("counter registration not idempotent")
+	}
+	if r.Gauge("x") != r.Gauge("x") {
+		t.Error("gauge registration not idempotent")
+	}
+	if r.Histogram("x", []float64{1}) != r.Histogram("x", []float64{5, 6}) {
+		t.Error("histogram registration not idempotent")
+	}
+}
+
+func TestInstruments(t *testing.T) {
+	r := New()
+	c := r.Counter("reqs")
+	c.Add(3)
+	c.Inc()
+	if c.Value() != 4 {
+		t.Errorf("counter = %d, want 4", c.Value())
+	}
+	g := r.Gauge("temp")
+	g.Set(0.5)
+	g.Max(0.25) // lower: ignored
+	if g.Value() != 0.5 {
+		t.Errorf("gauge = %v, want 0.5", g.Value())
+	}
+	g.Max(0.75)
+	if g.Value() != 0.75 {
+		t.Errorf("gauge after Max = %v, want 0.75", g.Value())
+	}
+	h := r.Histogram("lat", []float64{10, 100})
+	h.ObserveInt(5)
+	h.ObserveInt(10) // le boundary is inclusive
+	h.ObserveInt(50)
+	h.ObserveInt(1000)
+	if h.Count() != 4 {
+		t.Errorf("count = %d, want 4", h.Count())
+	}
+	if h.Sum() != 1065 {
+		t.Errorf("sum = %v, want 1065", h.Sum())
+	}
+	snap := r.Snapshot()
+	hs := snap.Histograms["lat"]
+	want := []int64{2, 1, 1}
+	for i, b := range hs.Buckets {
+		if b != want[i] {
+			t.Errorf("bucket[%d] = %d, want %d (%v)", i, b, want[i], hs.Buckets)
+		}
+	}
+}
+
+func TestSpan(t *testing.T) {
+	r := New()
+	h := r.Histogram("span_seconds", ExpBuckets(1e-6, 10, 8))
+	sp := StartSpan(h)
+	time.Sleep(time.Millisecond)
+	sp.End()
+	if h.Count() != 1 {
+		t.Fatalf("span not recorded")
+	}
+	if h.Sum() <= 0 {
+		t.Fatalf("span sum = %v", h.Sum())
+	}
+}
+
+func TestConcurrentUse(t *testing.T) {
+	r := New()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				r.Counter("c").Inc()
+				r.Gauge("g").Max(float64(j))
+				r.Histogram("h", []float64{500}).Observe(float64(j))
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("c").Value(); got != 8000 {
+		t.Errorf("counter = %d, want 8000", got)
+	}
+	if got := r.Histogram("h", nil).Count(); got != 8000 {
+		t.Errorf("histogram count = %d, want 8000", got)
+	}
+	if got := r.Histogram("h", nil).Sum(); got != 8*999*1000/2 {
+		t.Errorf("histogram sum = %v, want %v", got, 8*999*1000/2)
+	}
+}
+
+func TestPrometheusExposition(t *testing.T) {
+	r := New()
+	r.Counter("a_total").Add(7)
+	r.Counter(Name("b_total", "engine", 3)).Add(2)
+	r.Gauge("g").Set(1.5)
+	h := r.Histogram("h_cycles", []float64{10, 100})
+	h.ObserveInt(5)
+	h.ObserveInt(500)
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# TYPE a_total counter\na_total 7\n",
+		"# TYPE b_total counter\n" + `b_total{engine="3"} 2` + "\n",
+		"# TYPE g gauge\ng 1.5\n",
+		"# TYPE h_cycles histogram\n",
+		`h_cycles_bucket{le="10"} 1`,
+		`h_cycles_bucket{le="100"} 1`,
+		`h_cycles_bucket{le="+Inf"} 2`,
+		"h_cycles_sum 505",
+		"h_cycles_count 2",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestLabeledHistogramExposition(t *testing.T) {
+	r := New()
+	r.Histogram(Name("h_cycles", "engine", 1), []float64{10}).ObserveInt(3)
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		`h_cycles_bucket{engine="1",le="10"} 1`,
+		`h_cycles_sum{engine="1"} 3`,
+		`h_cycles_count{engine="1"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestJSONSnapshotRoundTrip(t *testing.T) {
+	r := New()
+	r.Counter("c").Add(9)
+	r.Gauge("g").Set(2.25)
+	r.Histogram("h", []float64{1}).Observe(0.5)
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var snap Snapshot
+	if err := json.Unmarshal(buf.Bytes(), &snap); err != nil {
+		t.Fatal(err)
+	}
+	if snap.Counter("c") != 9 || snap.Gauge("g") != 2.25 {
+		t.Errorf("round-trip snapshot: %+v", snap)
+	}
+	if snap.Histograms["h"].Count != 1 {
+		t.Errorf("histogram lost in round-trip: %+v", snap.Histograms)
+	}
+}
+
+func TestFormatFloatInf(t *testing.T) {
+	if formatFloat(math.Inf(1)) != "+Inf" || formatFloat(math.Inf(-1)) != "-Inf" {
+		t.Error("Inf formatting")
+	}
+}
+
+func TestHTTPEndpoint(t *testing.T) {
+	r := New()
+	r.Counter("served_total").Add(11)
+	addr, srv, err := Serve("127.0.0.1:0", r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	get := func(path string) string {
+		resp, err := http.Get("http://" + addr + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: %s", path, resp.Status)
+		}
+		b, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(b)
+	}
+	if out := get("/metrics"); !strings.Contains(out, "served_total 11") {
+		t.Errorf("/metrics missing counter:\n%s", out)
+	}
+	if out := get("/metrics.json"); !strings.Contains(out, `"served_total": 11`) {
+		t.Errorf("/metrics.json missing counter:\n%s", out)
+	}
+	if out := get("/debug/pprof/cmdline"); len(out) == 0 {
+		t.Error("/debug/pprof/cmdline empty")
+	}
+}

@@ -48,6 +48,10 @@ type arena struct {
 
 	flows   []keyedFlow // sort scratch for simulateFlows
 	engines []int       // per-Round engine list scratch
+
+	// linkTraffic, when non-nil, accumulates bytes per link ID across the
+	// whole Run (metrics scratch owned by simMetrics; nil when disabled).
+	linkTraffic []int64
 }
 
 // keyedFlow pairs a flow with its precomputed multicast-group key.
@@ -169,6 +173,9 @@ func (a *arena) simulateFlows(flows []buffer.Flow, start int64) int64 {
 					a.linkFree[id] = s + ser
 					a.freeStamp[id] = a.roundStamp
 					treeLinks++
+					if a.linkTraffic != nil {
+						a.linkTraffic[id] += bytes
+					}
 				}
 				head = s + hop
 				lastStart = s

@@ -25,6 +25,7 @@ import (
 	"github.com/atomic-dataflow/atomicflow/internal/engine"
 	"github.com/atomic-dataflow/atomicflow/internal/mapping"
 	"github.com/atomic-dataflow/atomicflow/internal/noc"
+	"github.com/atomic-dataflow/atomicflow/internal/obs"
 	"github.com/atomic-dataflow/atomicflow/internal/schedule"
 )
 
@@ -53,6 +54,13 @@ type Config struct {
 	// Pass one shared oracle across the annealer, scheduler, baselines and
 	// simulator so identical tasks are evaluated once for the whole run.
 	Oracle cost.Oracle
+	// Metrics, when non-nil, receives the run's counters and histograms:
+	// per-engine busy/idle cycles, barrier waits, per-link NoC traffic,
+	// DRAM row hits/queueing, buffer occupancy and the cost-oracle cache
+	// (see internal/obs). The nil default adds one predicted-not-taken
+	// branch per Round — nothing on the flow hot path (pinned by
+	// BenchmarkSimRun).
+	Metrics *obs.Registry
 }
 
 // AtomTrace records one atom's execution within a Round.
@@ -73,6 +81,15 @@ type RoundTrace struct {
 	Flows      int
 	DRAMRead   int64
 	DRAMWrite  int64
+
+	// Full-span lanes (Perfetto export): the DRAM prefetch window and
+	// the Round end with NoC contention excluded, so exporters can draw
+	// distinct DRAM-block [ComputeEnd, DRAMEnd] and NoC-block
+	// [DRAMEnd, End] spans plus a DRAM read lane [DRAMIssue, DRAMReady].
+	DRAMEnd   int64 // end if the NoC never blocked (compute + DRAM only)
+	DRAMIssue int64 // cycle the Round's DRAM reads were issued (prefetch)
+	DRAMReady int64 // cycle the last engine's DRAM data arrived
+	FlowBytes int64 // Σ bytes of the Round's on-chip flows
 }
 
 // DefaultConfig returns the paper's 8x8-engine system (Sec. V-A). Mesh
@@ -157,6 +174,10 @@ func Run(d *atom.DAG, s *schedule.Schedule, cfg Config) (Report, error) {
 	hbm := dram.New(cfg.DRAM)
 	orc := cost.Or(cfg.Oracle)
 	ar := newArena(cfg.Mesh)
+	sm := newSimMetrics(cfg.Metrics, cfg.Mesh)
+	if sm != nil {
+		ar.linkTraffic = sm.linkBytes
+	}
 
 	var rep Report
 	rep.Rounds = s.NumRounds()
@@ -254,6 +275,33 @@ func Run(d *atom.DAG, s *schedule.Schedule, cfg Config) (Report, error) {
 			}
 		}
 
+		// --- Metrics (one branch when disabled). The barrier-wait pass
+		// recomputes each atom's finish time against the Round barrier;
+		// busy/idle split the Round span per engine.
+		if sm != nil {
+			span := endAll - now
+			sm.observeRound(span, endAll-endNoNoC, endNoNoC-endNoMem,
+				placed.Perms, placed.ByteHops, len(io.Flows))
+			for _, id := range round.Atoms {
+				e := placed.EngineOf[id]
+				comp := s.ComputeCycles[id]
+				end := now + comp
+				if r, ok := ar.getDRAMReady(e); ok && r > end {
+					end = r
+				}
+				if r, ok := ar.getNoCReady(e); ok && r > end {
+					end = r
+				}
+				sm.barrierWait.ObserveInt(endAll - end)
+				sm.busy[e].Add(comp)
+				sm.compOf[e] = comp
+			}
+			for e := 0; e < n; e++ {
+				sm.idle[e].Add(span - sm.compOf[e])
+				sm.compOf[e] = 0
+			}
+		}
+
 		// --- Accounting.
 		rep.ComputeCycles += maxComp
 		rep.NoCBlockedCycles += endAll - endNoNoC
@@ -281,6 +329,17 @@ func Run(d *atom.DAG, s *schedule.Schedule, cfg Config) (Report, error) {
 				Flows:     len(io.Flows),
 				DRAMRead:  sumSlice(io.DRAMReadBytes),
 				DRAMWrite: sumSlice(io.DRAMWriteBytes),
+				DRAMEnd:   endNoNoC,
+				DRAMIssue: issueAt,
+				DRAMReady: now,
+			}
+			for _, e := range engines {
+				if r, ok := ar.getDRAMReady(e); ok && r > tr.DRAMReady {
+					tr.DRAMReady = r
+				}
+			}
+			for _, f := range io.Flows {
+				tr.FlowBytes += f.Bytes
 			}
 			for _, id := range round.Atoms {
 				a := d.Atoms[id]
@@ -312,6 +371,9 @@ func Run(d *atom.DAG, s *schedule.Schedule, cfg Config) (Report, error) {
 	rep.Energy.AddMACs(cfg.Energy, rep.MACs)
 	rep.Energy.AddDRAM(cfg.Energy, rep.DRAMReadBytes+rep.DRAMWriteBytes)
 	rep.Energy.AddStatic(cfg.Energy, rep.Cycles*int64(n))
+	if sm != nil {
+		sm.finish(&rep, man, hbm, orc, ar)
+	}
 	return rep, nil
 }
 

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"encoding/json"
 	"strings"
+	"sync"
 	"testing"
 
 	"github.com/atomic-dataflow/atomicflow/internal/anneal"
@@ -104,6 +105,79 @@ func TestGanttExport(t *testing.T) {
 	lines := strings.Count(out, "\n")
 	if lines > 5 {
 		t.Errorf("maxRounds not honored: %d lines", lines)
+	}
+}
+
+// TestHookConcurrent hammers Hook from many goroutines; under -race this
+// fails if Hook's append is unguarded (parallel sweeps share collectors).
+func TestHookConcurrent(t *testing.T) {
+	var c Collector
+	var wg sync.WaitGroup
+	const writers, each = 8, 100
+	for i := 0; i < writers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < each; j++ {
+				c.Hook(sim.RoundTrace{Round: i*each + j})
+			}
+		}(i)
+	}
+	wg.Wait()
+	if len(c.Rounds) != writers*each {
+		t.Fatalf("recorded %d rounds, want %d", len(c.Rounds), writers*each)
+	}
+	c.Sort()
+	for i, rt := range c.Rounds {
+		if rt.Round != i {
+			t.Fatalf("after Sort, position %d holds round %d", i, rt.Round)
+		}
+	}
+}
+
+func TestPerfettoExport(t *testing.T) {
+	c, g, _ := collect(t, "tinyresnet", 2)
+	var buf bytes.Buffer
+	if err := c.WritePerfetto(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	// All three processes must be named, and the DRAM read lane populated
+	// (every Round of this model fetches weights).
+	var lanes, dramReads, nocCounters int
+	for _, ev := range doc.TraceEvents {
+		switch ev["name"] {
+		case "process_name":
+			lanes++
+		case "dram-read":
+			dramReads++
+		case "flow_bytes":
+			nocCounters++
+		}
+	}
+	if lanes != 3 {
+		t.Errorf("process_name records = %d, want 3", lanes)
+	}
+	if dramReads == 0 {
+		t.Error("no dram-read spans")
+	}
+	if nocCounters == 0 {
+		t.Error("no flow_bytes counter events")
+	}
+	// DRAM spans never extend past their Round's barrier ordering:
+	// DRAMIssue <= DRAMReady and ComputeEnd <= DRAMEnd <= End.
+	for _, rt := range c.Rounds {
+		if rt.DRAMIssue > rt.DRAMReady {
+			t.Fatalf("round %d: DRAM issue %d after ready %d", rt.Round, rt.DRAMIssue, rt.DRAMReady)
+		}
+		if rt.ComputeEnd > rt.DRAMEnd || rt.DRAMEnd > rt.End {
+			t.Fatalf("round %d: span ordering violated: %+v", rt.Round, rt)
+		}
 	}
 }
 

@@ -24,3 +24,50 @@ func min(a, b int) int {
 	}
 	return b
 }
+
+func TestPerfettoWriterOption(t *testing.T) {
+	g, _ := LoadModel("tinyconv")
+	hw := smallHW()
+	var sb strings.Builder
+	_, err := Orchestrate(g, Options{Hardware: &hw, PerfettoWriter: &sb})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"traceEvents", "process_name", "dram"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("perfetto trace missing %q", want)
+		}
+	}
+}
+
+func TestMetricsOption(t *testing.T) {
+	g, _ := LoadModel("tinyresnet")
+	hw := smallHW()
+	reg := NewMetrics()
+	sol, err := Orchestrate(g, Options{Hardware: &hw, Metrics: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := sol.Metrics.Counter("sim_cycles_total"); got != sol.Report.Cycles {
+		t.Errorf("snapshot sim_cycles_total = %d, want %d", got, sol.Report.Cycles)
+	}
+	if sol.Metrics.Counter("anneal_iterations_total") == 0 {
+		t.Error("SA metrics not collected through Options.Metrics")
+	}
+	if sol.Metrics.Counter("noc_link_bytes_total") == 0 {
+		t.Error("NoC link traffic not collected")
+	}
+	// No registry installed -> zero-value snapshot, no metrics overhead.
+	bare, err := Orchestrate(g, Options{Hardware: &hw})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bare.Metrics.Counters != nil {
+		t.Error("snapshot populated without a registry")
+	}
+	if bare.Report != sol.Report {
+		t.Errorf("metrics perturbed the Report:\nbare:    %+v\nmetered: %+v",
+			bare.Report, sol.Report)
+	}
+}
