@@ -24,6 +24,9 @@
 package atomicflow
 
 import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
 	"fmt"
 	"io"
 	"time"
@@ -205,6 +208,12 @@ type Options struct {
 	// across the SA search and the simulator (overrides
 	// Hardware.Metrics); Solution.Metrics holds the final snapshot.
 	Metrics *MetricsRegistry
+	// Context, when non-nil, bounds the orchestration: the SA search, the
+	// Round scheduler and the simulator poll it and Orchestrate returns
+	// an error wrapping the context's error (context.Canceled or
+	// context.DeadlineExceeded) as soon as it fires. An uncancelled
+	// context never changes the solution produced.
+	Context context.Context
 }
 
 func (o Options) batch() int {
@@ -219,6 +228,13 @@ func (o Options) hardware() HardwareConfig {
 		return *o.Hardware
 	}
 	return DefaultHardware()
+}
+
+func (o Options) context() context.Context {
+	if o.Context != nil {
+		return o.Context
+	}
+	return context.Background()
 }
 
 // Solution is a complete atomic-dataflow orchestration of one workload.
@@ -248,6 +264,25 @@ type Solution struct {
 	sched *schedule.Schedule
 }
 
+// Digest returns a hex SHA-256 over the solution's deterministic content:
+// the full simulation Report, the atom and Round counts, the final
+// load-balance CV, and the per-Round atom assignment. Wall-clock fields
+// (SearchTime, Metrics, OracleStats) are excluded, so a fixed
+// (graph, hardware, options, seed) triple must always produce the same
+// digest — the property pinned by the cross-zoo determinism matrix and
+// used by the serving layer as a solution identity.
+func (s *Solution) Digest() string {
+	h := sha256.New()
+	fmt.Fprintf(h, "report %+v\n", s.Report)
+	fmt.Fprintf(h, "atoms %d rounds %d cv %v\n", s.Atoms, s.Rounds, s.AtomCycleCV)
+	if s.sched != nil {
+		for i, r := range s.sched.Rounds {
+			fmt.Fprintf(h, "round %d %v\n", i, r.Atoms)
+		}
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
 // Orchestrate runs the full atomic-dataflow pipeline on the workload:
 // SA atom generation, atomic DAG construction, DAG scheduling, and
 // simulation with mapping + buffering.
@@ -267,6 +302,10 @@ func Orchestrate(g *Graph, opt Options) (*Solution, error) {
 	if opt.Metrics != nil {
 		hw.Metrics = opt.Metrics
 	}
+	ctx := opt.context()
+	if hw.Ctx == nil {
+		hw.Ctx = ctx
+	}
 	start := time.Now()
 	res := anneal.SA(g, hw.Engine, hw.Dataflow, anneal.Options{
 		MaxIters:       opt.SAIters,
@@ -274,7 +313,13 @@ func Orchestrate(g *Graph, opt Options) (*Solution, error) {
 		MaxTilesPerLay: opt.MaxTilesPerLayer,
 		Oracle:         hw.Oracle,
 		Metrics:        hw.Metrics,
+		Ctx:            ctx,
 	})
+	// SA returns its best-so-far state on cancellation; surface the
+	// abandonment as an error before burning time on the later stages.
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("atomicflow: orchestration abandoned: %w", err)
+	}
 	d, err := atom.Build(g, opt.batch(), res.Spec)
 	if err != nil {
 		return nil, err
@@ -285,6 +330,7 @@ func Orchestrate(g *Graph, opt Options) (*Solution, error) {
 		EngineCfg: hw.Engine,
 		Dataflow:  hw.Dataflow,
 		Oracle:    hw.Oracle,
+		Ctx:       ctx,
 	})
 	if err != nil {
 		return nil, err

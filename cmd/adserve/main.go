@@ -1,0 +1,76 @@
+// Command adserve runs the orchestration-as-a-service HTTP server: it
+// accepts workload graphs (the JSON exchange format, or bundled zoo
+// names) plus a hardware spec on POST /solve and returns the full
+// atomic-dataflow solution — schedule shape, predicted cycles/energy and
+// an optional execution trace. Identical concurrent requests are
+// deduplicated, repeat requests are answered from an LRU solution cache,
+// and a bounded admission queue sheds load with 429 + Retry-After.
+//
+// Usage:
+//
+//	adserve -addr :8080
+//	curl -s localhost:8080/solve -d '{"model":"resnet50","sa_iters":200}'
+//	curl -s localhost:8080/healthz
+//	curl -s localhost:8080/metrics
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"github.com/atomic-dataflow/atomicflow/internal/serve"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", ":8080", "listen address")
+		workers = flag.Int("workers", 0, "solve worker pool size (0 = GOMAXPROCS)")
+		queue   = flag.Int("queue", 64, "admission queue depth; a full queue answers 429")
+		cache   = flag.Int("cache", 256, "solution cache entries (LRU)")
+		timeout = flag.Duration("timeout", 2*time.Minute, "per-request solve deadline")
+		drain   = flag.Duration("drain", 30*time.Second, "graceful-shutdown drain budget on SIGINT/SIGTERM")
+	)
+	flag.Parse()
+
+	srv := serve.New(serve.Config{
+		Workers:        *workers,
+		QueueDepth:     *queue,
+		CacheEntries:   *cache,
+		RequestTimeout: *timeout,
+	})
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+	fmt.Fprintf(os.Stderr, "adserve: listening on %s (POST /solve, /healthz, /metrics)\n", *addr)
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errc:
+		fatal(err)
+	case sig := <-sigc:
+		fmt.Fprintf(os.Stderr, "adserve: %v: draining (budget %v)\n", sig, *drain)
+		ctx, cancel := context.WithTimeout(context.Background(), *drain)
+		defer cancel()
+		// Drain the solve pipeline first so accepted requests finish,
+		// then close the listener and idle connections.
+		if err := srv.Shutdown(ctx); err != nil {
+			fmt.Fprintf(os.Stderr, "adserve: drain incomplete: %v\n", err)
+		}
+		if err := httpSrv.Shutdown(ctx); err != nil {
+			fmt.Fprintf(os.Stderr, "adserve: http shutdown: %v\n", err)
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "adserve:", err)
+	os.Exit(1)
+}

@@ -1,6 +1,7 @@
 package anneal
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"runtime"
@@ -36,6 +37,16 @@ type Options struct {
 	// counters, temperature trajectory and accepted energy deltas (see
 	// internal/obs). The nil default costs nothing.
 	Metrics *obs.Registry
+
+	// Ctx, when non-nil, lets callers abandon the search: SA polls it
+	// each iteration and returns the best state found so far as soon as
+	// it is cancelled. Cancellation only truncates the search — an
+	// uncancelled context never perturbs the seeded trajectory.
+	Ctx context.Context
+}
+
+func (o Options) cancelled() bool {
+	return o.Ctx != nil && o.Ctx.Err() != nil
 }
 
 func (o Options) maxIters() int {
@@ -146,6 +157,9 @@ func SA(g *graph.Graph, cfg engine.Config, df engine.Dataflow, opt Options) Resu
 	var trace []float64
 	iters := 0
 	for iters = 0; iters < opt.maxIters(); iters++ {
+		if opt.cancelled() {
+			break
+		}
 		// Line 10: neighboring state.
 		Smove := S + (rng.Float64()*2-1)*lenAbs
 		if Smove < 1 {
@@ -184,7 +198,7 @@ func SA(g *graph.Graph, cfg engine.Config, df engine.Dataflow, opt Options) Resu
 	// unified-cycle targets around the best state and keep the minimum.
 	_ = cur
 	lo, hi := bestS*0.2, bestS*2.5
-	for i := 0; i <= 96; i++ {
+	for i := 0; i <= 96 && !opt.cancelled(); i++ {
 		S := lo + (hi-lo)*float64(i)/96
 		st := sctx.argmin(S)
 		if e := sctx.variance(st, sctx.mean(st)); e < bestE {

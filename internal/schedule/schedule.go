@@ -15,6 +15,7 @@
 package schedule
 
 import (
+	"context"
 	"fmt"
 
 	"github.com/atomic-dataflow/atomicflow/internal/atom"
@@ -47,6 +48,11 @@ type Options struct {
 	// run's shared oracle so scheduling reuses evaluations cached during
 	// candidate generation.
 	Oracle cost.Oracle
+
+	// Ctx, when non-nil, lets callers abandon the search: Build polls it
+	// between Rounds and returns the context's error once cancelled. An
+	// uncancelled context never changes the schedule produced.
+	Ctx context.Context
 }
 
 func (o Options) lookahead() int {
@@ -116,6 +122,11 @@ func Build(d *atom.DAG, opt Options) (*Schedule, error) {
 		sched.AtomRound[i] = -1
 	}
 	for st.remaining > 0 {
+		if opt.Ctx != nil {
+			if err := opt.Ctx.Err(); err != nil {
+				return nil, fmt.Errorf("schedule: %w", err)
+			}
+		}
 		var comb []int
 		if opt.Mode == Greedy {
 			comb = st.greedyPick()

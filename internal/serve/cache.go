@@ -1,0 +1,66 @@
+package serve
+
+import (
+	"container/list"
+	"sync"
+)
+
+// solveResult is one finished solve: the canonical response body served
+// verbatim to every waiter and every later cache hit, so identical
+// requests receive bit-identical bytes.
+type solveResult struct {
+	body   []byte
+	digest string
+}
+
+// lruCache is a mutex-guarded LRU of solve results. The serving layer's
+// working set is small (distinct (graph, config, seed) triples), so a
+// plain list+map beats anything cleverer.
+type lruCache struct {
+	mu    sync.Mutex
+	max   int
+	ll    *list.List // front = most recent
+	items map[string]*list.Element
+}
+
+type cacheEntry struct {
+	key string
+	res *solveResult
+}
+
+func newLRU(max int) *lruCache {
+	return &lruCache{max: max, ll: list.New(), items: make(map[string]*list.Element)}
+}
+
+func (c *lruCache) get(key string) (*solveResult, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*cacheEntry).res, true
+}
+
+func (c *lruCache) add(key string, res *solveResult) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		c.ll.MoveToFront(el)
+		el.Value.(*cacheEntry).res = res
+		return
+	}
+	c.items[key] = c.ll.PushFront(&cacheEntry{key: key, res: res})
+	for c.ll.Len() > c.max {
+		el := c.ll.Back()
+		c.ll.Remove(el)
+		delete(c.items, el.Value.(*cacheEntry).key)
+	}
+}
+
+func (c *lruCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}

@@ -1,0 +1,117 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestRequestDeadlineCancelsSearch sends a request whose deadline cannot
+// be met and asserts (a) the caller gets a prompt 504, (b) the abandoned
+// search actually stops (the worker frees up far sooner than the full
+// search would take), and (c) no goroutines leak across the whole
+// server lifecycle.
+func TestRequestDeadlineCancelsSearch(t *testing.T) {
+	before := runtime.NumGoroutine()
+
+	s := New(Config{Workers: 1})
+	ts := httptest.NewServer(s.Handler())
+
+	// nasnet at full effort takes ~700ms+; a 50ms deadline must abandon.
+	start := time.Now()
+	resp, err := ts.Client().Post(ts.URL+"/solve", "application/json",
+		strings.NewReader(`{"model":"nasnet","timeout_ms":50}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	elapsed := time.Since(start)
+	if resp.StatusCode != http.StatusGatewayTimeout {
+		t.Fatalf("status %d, want 504", resp.StatusCode)
+	}
+	if elapsed > time.Second {
+		t.Errorf("504 took %v, want prompt deadline response", elapsed)
+	}
+
+	// The last waiter abandoned the flight, so its context was cancelled
+	// and the worker must come free without finishing the search.
+	waitFor(t, func() bool {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		return len(s.flights) == 0 && s.busyCount.Load() == 0
+	})
+
+	// A fresh request for the same key must start a new flight (not join
+	// the cancelled one) and succeed.
+	resp2, body := postSolve(t, ts, `{"model":"tinyconv","sa_iters":60}`)
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("post-cancel request: %d %s", resp2.StatusCode, body)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	ts.Close()
+	ts.Client().CloseIdleConnections()
+
+	// Goroutine accounting: workers, flights and HTTP plumbing must all
+	// be gone. Allow slack for runtime/test goroutines.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		runtime.GC()
+		if n := runtime.NumGoroutine(); n <= before+3 {
+			break
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<16)
+			n := runtime.Stack(buf, true)
+			t.Fatalf("goroutine leak: %d before, %d after\n%s",
+				before, runtime.NumGoroutine(), buf[:n])
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestShutdownDeadlineCancelsInflight covers the impatient-drain path:
+// when Shutdown's context expires, in-flight searches are cancelled and
+// their waiters receive a cancellation error rather than hanging.
+func TestShutdownDeadlineCancelsInflight(t *testing.T) {
+	s := New(Config{Workers: 1})
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+
+	respc := make(chan int, 1)
+	go func() {
+		resp, err := ts.Client().Post(ts.URL+"/solve", "application/json",
+			strings.NewReader(`{"model":"nasnet"}`))
+		if err != nil {
+			respc <- -1
+			return
+		}
+		resp.Body.Close()
+		respc <- resp.StatusCode
+	}()
+	waitFor(t, func() bool { return s.busyCount.Load() == 1 })
+
+	ctx, cancel := context.WithTimeout(context.Background(), time.Millisecond)
+	defer cancel()
+	if err := s.Shutdown(ctx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("Shutdown = %v, want deadline exceeded", err)
+	}
+	select {
+	case code := <-respc:
+		// The waiter must be answered (504 for the cancelled search).
+		if code != http.StatusGatewayTimeout {
+			t.Errorf("in-flight request answered %d, want 504", code)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("in-flight waiter hung after forced shutdown")
+	}
+}

@@ -1,0 +1,42 @@
+package serve
+
+import (
+	"testing"
+)
+
+// FuzzSolveRequest exercises the /solve request surface with arbitrary
+// bytes: ParseRequest must never panic, anything it accepts must carry a
+// decoded graph and a non-empty cache key, and parsing the same bytes
+// twice must produce the same key (the canonicalization the cache and
+// singleflight layers depend on).
+func FuzzSolveRequest(f *testing.F) {
+	f.Add([]byte(`{"model":"tinyconv"}`))
+	f.Add([]byte(`{"model":"resnet50","batch":4,"seed":7,"sa_iters":100,"mode":"greedy"}`))
+	f.Add([]byte(`{"graph":{"name":"m","layers":[` +
+		`{"name":"in","op":"Input","shape":{"ho":8,"wo":8,"co":3}},` +
+		`{"name":"c1","op":"Conv","inputs":["in"],"shape":{"hi":8,"wi":8,"ci":3,"ho":8,"wo":8,"co":4,"kh":3,"kw":3,"stride":1,"pad":1}}]}}`))
+	f.Add([]byte(`{"model":"tinyconv","hardware":{"mesh_w":4,"mesh_h":2,"link_bytes":16,"dataflow":"yxp","double_buffer":false}}`))
+	f.Add([]byte(`{"model":"tinyconv","trace":true,"timeout_ms":1000}`))
+	f.Add([]byte(`{`))
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"graph":{"name":"x","layers":[]}}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		req, err := ParseRequest(data)
+		if err != nil {
+			return
+		}
+		if req.Key() == "" {
+			t.Fatal("accepted request with empty cache key")
+		}
+		if req.graph == nil {
+			t.Fatal("accepted request with no decoded graph")
+		}
+		again, err := ParseRequest(data)
+		if err != nil {
+			t.Fatalf("same bytes rejected on second parse: %v", err)
+		}
+		if again.Key() != req.Key() {
+			t.Fatalf("unstable cache key: %s vs %s", req.Key(), again.Key())
+		}
+	})
+}

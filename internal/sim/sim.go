@@ -13,6 +13,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 	"slices"
 	"sort"
@@ -61,6 +62,11 @@ type Config struct {
 	// branch per Round — nothing on the flow hot path (pinned by
 	// BenchmarkSimRun).
 	Metrics *obs.Registry
+
+	// Ctx, when non-nil, lets callers abandon a simulation: Run polls it
+	// between Rounds and returns the context's error once cancelled. An
+	// uncancelled context never changes the Report produced.
+	Ctx context.Context
 }
 
 // AtomTrace records one atom's execution within a Round.
@@ -185,6 +191,11 @@ func Run(d *atom.DAG, s *schedule.Schedule, cfg Config) (Report, error) {
 	now := int64(0) // current time (Round start)
 	prevStart := int64(0)
 	for t, round := range s.Rounds {
+		if cfg.Ctx != nil {
+			if err := cfg.Ctx.Err(); err != nil {
+				return Report{}, fmt.Errorf("sim: %w", err)
+			}
+		}
 		var placed mapping.Result
 		if cfg.NaiveMapping {
 			placed = mapper.PlaceRound(round.Atoms, func(int) int { return -1 })
