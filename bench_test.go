@@ -9,6 +9,7 @@ package atomicflow
 // `cmd/adexp` for the complete Table-I workload list.
 
 import (
+	"fmt"
 	"testing"
 
 	"github.com/atomic-dataflow/atomicflow/internal/anneal"
@@ -514,6 +515,34 @@ func BenchmarkSearchOverhead_InceptionV3(b *testing.B) {
 		if _, err := Orchestrate(g, Options{Batch: 1}); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkAnnealChains measures the SA search at portfolio widths 1, 2,
+// 4 and 8 on a mid-size workload. The iteration budget is fixed, so the
+// portfolio splits the same Metropolis work across chains: on a K-core
+// runner the K-chain point should approach a K-fold wall-clock reduction
+// over /1 while final-cv (the solution quality) stays comparable. Each
+// iteration prices atoms through a fresh memo so every width pays the
+// same cold-oracle cost.
+func BenchmarkAnnealChains(b *testing.B) {
+	g, err := LoadModel("inceptionv3")
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := engine.Default()
+	for _, k := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprint(k), func(b *testing.B) {
+			var cv float64
+			for i := 0; i < b.N; i++ {
+				res := anneal.SA(g, cfg, engine.KCPartition, anneal.Options{
+					MaxIters: 4000, Seed: 1, Chains: k,
+					Oracle: cost.NewMemo(cost.Direct{}),
+				})
+				cv = res.FinalCV
+			}
+			b.ReportMetric(cv, "final-cv")
+		})
 	}
 }
 

@@ -39,6 +39,7 @@ func main() {
 		batch     = flag.Int("batch", 0, "batch-size override (0 = experiment default)")
 		saIters   = flag.Int("sa-iters", 400, "SA iterations")
 		seed      = flag.Int64("seed", 1, "search seed")
+		chains    = flag.Int("chains", 1, "parallel annealing chains per search (deterministic for a fixed seed)")
 		dp        = flag.Bool("dp", false, "use DP scheduling everywhere (slower; Fig 10 measures it explicitly)")
 		fast      = flag.Bool("fast", false, "reduced workload set for quick runs")
 		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile to this file")
@@ -130,6 +131,7 @@ func main() {
 		Batch:   *batch,
 		SAIters: *saIters,
 		Seed:    *seed,
+		Chains:  *chains,
 		Mode:    schedule.Greedy,
 		Out:     os.Stdout,
 		Oracle:  orc,

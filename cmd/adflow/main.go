@@ -30,6 +30,7 @@ func main() {
 		mode      = flag.String("mode", "greedy", "scheduler: dp or greedy")
 		saIters   = flag.Int("sa-iters", 400, "simulated-annealing iterations for atom generation")
 		seed      = flag.Int64("seed", 1, "search seed")
+		chains    = flag.Int("chains", 1, "parallel annealing chains (deterministic for a fixed seed)")
 		baselines = flag.Bool("baselines", false, "also run LS, CNN-P, IL-Pipe and Rammer")
 		traceFile = flag.String("trace", "", "write a Chrome trace-event JSON of the AD execution to this file")
 		perfetto  = flag.String("perfetto", "", "write a full-span Perfetto trace (engine/NoC/DRAM lanes) to this file")
@@ -77,7 +78,7 @@ func main() {
 
 	opts := af.Options{
 		Batch: *batch, Hardware: &hw, Mode: schedMode,
-		SAIters: *saIters, Seed: *seed,
+		SAIters: *saIters, Seed: *seed, Chains: *chains,
 	}
 	if *traceFile != "" {
 		f, err := os.Create(*traceFile)

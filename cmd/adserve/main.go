@@ -34,6 +34,7 @@ func main() {
 		queue   = flag.Int("queue", 64, "admission queue depth; a full queue answers 429")
 		cache   = flag.Int("cache", 256, "solution cache entries (LRU)")
 		timeout = flag.Duration("timeout", 2*time.Minute, "per-request solve deadline")
+		chains  = flag.Int("chains", 0, "default annealing chains for requests that omit the field (0 = 1)")
 		drain   = flag.Duration("drain", 30*time.Second, "graceful-shutdown drain budget on SIGINT/SIGTERM")
 	)
 	flag.Parse()
@@ -43,6 +44,7 @@ func main() {
 		QueueDepth:     *queue,
 		CacheEntries:   *cache,
 		RequestTimeout: *timeout,
+		DefaultChains:  *chains,
 	})
 	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
 

@@ -7,6 +7,7 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"github.com/atomic-dataflow/atomicflow/internal/atom"
 	"github.com/atomic-dataflow/atomicflow/internal/cost"
@@ -43,6 +44,29 @@ type Options struct {
 	// it is cancelled. Cancellation only truncates the search — an
 	// uncancelled context never perturbs the seeded trajectory.
 	Ctx context.Context
+
+	// Chains is the width of the search portfolio (default 1). With
+	// Chains > 1 the iteration budget MaxIters is split across that many
+	// concurrently-run, independently-seeded SA chains (seeds derived
+	// from Seed via splitmix64) that exchange best states at
+	// deterministic iteration barriers — total Metropolis work stays
+	// ~MaxIters while the wall-clock drops with available cores. The
+	// result is bit-identical for a fixed (Seed, Chains) pair regardless
+	// of GOMAXPROCS; Chains <= 1 is exactly the classic single-chain
+	// Algorithm 1 trajectory.
+	Chains int
+
+	// ExchangeEvery is the chain-local iteration count between the
+	// portfolio's best-state exchange barriers (default 50). Only
+	// meaningful with Chains > 1.
+	ExchangeEvery int
+
+	// PortfolioGA, when true and Chains > 1, devotes the last portfolio
+	// slot to the genetic-algorithm comparator instead of an SA chain.
+	// The GA member runs its own generational trajectory (it has no
+	// single-point state to exchange) and competes only in the final
+	// reduction.
+	PortfolioGA bool
 }
 
 func (o Options) cancelled() bool {
@@ -103,6 +127,18 @@ func (o Options) bufferFraction() float64 {
 	}
 	return o.BufferFraction
 }
+func (o Options) chains() int {
+	if o.Chains <= 1 {
+		return 1
+	}
+	return o.Chains
+}
+func (o Options) exchangeEvery() int {
+	if o.ExchangeEvery <= 0 {
+		return 50
+	}
+	return o.ExchangeEvery
+}
 
 // Result is the outcome of atomic tensor generation.
 type Result struct {
@@ -128,40 +164,86 @@ type state struct {
 	choice []int // search.all index -> candidate index
 }
 
-// SA runs the simulated-annealing search of Algorithm 1 and returns the
-// per-layer atom sizes plus the convergence trace.
-func SA(g *graph.Graph, cfg engine.Config, df engine.Dataflow, opt Options) Result {
-	sctx := newSearch(g, cfg, df, opt)
-	rng := rand.New(rand.NewSource(opt.seed()))
+// saMetrics bundles the run-wide search instruments. Every instrument is
+// a nil-safe no-op when Options.Metrics is nil, and all of them are
+// atomic, so concurrent portfolio chains share one set: the aggregate
+// counters then sum over chains.
+type saMetrics struct {
+	iters     *obs.Counter
+	accepts   *obs.Counter
+	rejects   *obs.Counter
+	tempHist  *obs.Histogram
+	delta     *obs.Histogram
+	tempFinal *obs.Gauge
+	finalCV   *obs.Gauge
+}
 
-	// Search observability (all instruments are nil-safe no-ops when
-	// opt.Metrics is nil): Metropolis accept/reject rates, the
+func newSAMetrics(opt Options) saMetrics {
+	// Search observability: Metropolis accept/reject rates, the
 	// temperature trajectory and the energy deltas of accepted moves.
-	mIters := opt.Metrics.Counter("anneal_iterations_total")
-	mAccepts := opt.Metrics.Counter("anneal_accepts_total")
-	mRejects := opt.Metrics.Counter("anneal_rejects_total")
-	mTempHist := opt.Metrics.Histogram("anneal_temperature", obs.ExpBuckets(1e-4, 2, 12))
-	mDelta := opt.Metrics.Histogram("anneal_accepted_energy_delta", obs.ExpBuckets(1, 8, 12))
-	mTempFinal := opt.Metrics.Gauge("anneal_temperature_final")
-	mFinalCV := opt.Metrics.Gauge("anneal_final_cv")
+	return saMetrics{
+		iters:     opt.Metrics.Counter("anneal_iterations_total"),
+		accepts:   opt.Metrics.Counter("anneal_accepts_total"),
+		rejects:   opt.Metrics.Counter("anneal_rejects_total"),
+		tempHist:  opt.Metrics.Histogram("anneal_temperature", obs.ExpBuckets(1e-4, 2, 12)),
+		delta:     opt.Metrics.Histogram("anneal_accepted_energy_delta", obs.ExpBuckets(1, 8, 12)),
+		tempFinal: opt.Metrics.Gauge("anneal_temperature_final"),
+		finalCV:   opt.Metrics.Gauge("anneal_final_cv"),
+	}
+}
 
+// saChain is one Metropolis trajectory of Algorithm 1. A chain owns its
+// RNG, so its path is a pure function of its seed and of the states
+// injected at exchange barriers — never of goroutine scheduling. The
+// single-chain SA path and every portfolio member run the same code.
+type saChain struct {
+	idx int
+	rng *rand.Rand
+
+	cur  state
+	E, S float64
+
+	best         state
+	bestE, bestS float64
+
+	temp, lenAbs float64
+	trace        []float64
+	iters        int
+	converged    bool
+
+	// Per-chain observability, flushed to labeled instruments by the
+	// portfolio after the reduction.
+	accepts, rejects int64
+	adoptions        int64
+	elapsed          time.Duration
+}
+
+// newChain seeds a chain and draws its random initial state
+// (Algorithm 1 lines 1-7).
+func newChain(idx int, seed int64, sctx *search, opt Options) *saChain {
+	c := &saChain{idx: idx, rng: rand.New(rand.NewSource(seed))}
 	// Line 1-4: random initialization of every layer's atom size.
-	cur := sctx.randomState(rng)
+	c.cur = sctx.randomState(c.rng)
 	// Line 5-7: initial unified cycle S = mean, energy E = Var.
-	S := sctx.mean(cur)
-	E := sctx.variance(cur, S)
-	best, bestE, bestS := cur, E, S
+	c.S = sctx.mean(c.cur)
+	c.E = sctx.variance(c.cur, c.S)
+	c.best, c.bestE, c.bestS = c.cur, c.E, c.S
+	c.temp = opt.temp()
+	c.lenAbs = c.S * opt.lenFrac()
+	return c
+}
 
-	temp := opt.temp()
-	lenAbs := S * opt.lenFrac()
-	var trace []float64
-	iters := 0
-	for iters = 0; iters < opt.maxIters(); iters++ {
+// run executes up to n more Metropolis iterations, stopping early on
+// convergence or context cancellation (Algorithm 1 lines 8-25).
+func (c *saChain) run(sctx *search, opt Options, n int, m saMetrics) {
+	start := time.Now()
+	defer func() { c.elapsed += time.Since(start) }()
+	for done := 0; done < n; done++ {
 		if opt.cancelled() {
-			break
+			return
 		}
 		// Line 10: neighboring state.
-		Smove := S + (rng.Float64()*2-1)*lenAbs
+		Smove := c.S + (c.rng.Float64()*2-1)*c.lenAbs
 		if Smove < 1 {
 			Smove = 1
 		}
@@ -172,45 +254,81 @@ func SA(g *graph.Graph, cfg engine.Config, df engine.Dataflow, opt Options) Resu
 		// Energies are normalized by the squared state (i.e. compared as
 		// squared coefficients of variation) so the temperature schedule
 		// is scale-free across workloads.
-		temp *= opt.lambda()
-		mIters.Inc()
-		mTempHist.Observe(temp)
-		p := math.Exp((E - Emove) / (opt.lambda() * temp * (S*S + 1)))
-		if rng.Float64() <= p {
-			mAccepts.Inc()
-			mDelta.Observe(math.Abs(E - Emove))
-			cur, E, S = next, Emove, sctx.mean(next)
-			lenAbs = S * opt.lenFrac()
+		c.temp *= opt.lambda()
+		c.iters++
+		m.iters.Inc()
+		m.tempHist.Observe(c.temp)
+		p := math.Exp((c.E - Emove) / (opt.lambda() * c.temp * (c.S*c.S + 1)))
+		if c.rng.Float64() <= p {
+			c.accepts++
+			m.accepts.Inc()
+			m.delta.Observe(math.Abs(c.E - Emove))
+			c.cur, c.E, c.S = next, Emove, sctx.mean(next)
+			c.lenAbs = c.S * opt.lenFrac()
 		} else {
-			mRejects.Inc()
+			c.rejects++
+			m.rejects.Inc()
 		}
-		if E < bestE {
-			best, bestE, bestS = cur, E, S
+		if c.E < c.bestE {
+			c.best, c.bestE, c.bestS = c.cur, c.E, c.S
 		}
-		trace = append(trace, bestE)
+		c.trace = append(c.trace, c.bestE)
 		// Line 23-25: convergence on normalized variance.
-		if bestE/(bestS*bestS+1) <= opt.epsilon() {
-			iters++
-			break
+		if c.bestE/(c.bestS*c.bestS+1) <= opt.epsilon() {
+			c.converged = true
+			return
 		}
 	}
-	// Deterministic polish ("for better convergence"): sweep a grid of
-	// unified-cycle targets around the best state and keep the minimum.
-	_ = cur
+}
+
+// polish is the deterministic post-search sweep ("for better
+// convergence"): a grid of unified-cycle targets around the best state,
+// keeping the minimum. Grid points are independent, so they are priced on
+// the worker pool and reduced in index order with a strict less-than —
+// bit-identical to the sequential sweep for any GOMAXPROCS.
+func (s *search) polish(opt Options, best state, bestE, bestS float64) (state, float64, float64) {
+	const n = 97
 	lo, hi := bestS*0.2, bestS*2.5
-	for i := 0; i <= 96 && !opt.cancelled(); i++ {
-		S := lo + (hi-lo)*float64(i)/96
-		st := sctx.argmin(S)
-		if e := sctx.variance(st, sctx.mean(st)); e < bestE {
-			best, bestE, bestS = st, e, sctx.mean(st)
+	sts := make([]state, n)
+	es := make([]float64, n)
+	ms := make([]float64, n)
+	parallelFor(n, func(i int) {
+		if opt.cancelled() {
+			es[i] = math.Inf(1)
+			return
+		}
+		S := lo + (hi-lo)*float64(i)/(n-1)
+		st := s.argmin(S)
+		m := s.mean(st)
+		sts[i], ms[i], es[i] = st, m, s.variance(st, m)
+	})
+	for i := 0; i < n; i++ {
+		if es[i] < bestE {
+			best, bestE, bestS = sts[i], es[i], ms[i]
 		}
 	}
-	if n := len(trace); n > 0 && bestE < trace[n-1] {
-		trace = append(trace, bestE)
+	return best, bestE, bestS
+}
+
+// SA runs the simulated-annealing search of Algorithm 1 and returns the
+// per-layer atom sizes plus the convergence trace. With Options.Chains
+// greater than one it runs the parallel portfolio instead (same contract,
+// ~Chains-fold less wall-clock on enough cores).
+func SA(g *graph.Graph, cfg engine.Config, df engine.Dataflow, opt Options) Result {
+	if opt.chains() > 1 {
+		return portfolioSA(g, cfg, df, opt)
 	}
-	mTempFinal.Set(temp)
-	res := sctx.finish(best, bestE, bestS, trace, iters)
-	mFinalCV.Set(res.FinalCV)
+	sctx := newSearch(g, cfg, df, opt)
+	m := newSAMetrics(opt)
+	c := newChain(0, opt.seed(), sctx, opt)
+	c.run(sctx, opt, opt.maxIters(), m)
+	best, bestE, bestS := sctx.polish(opt, c.best, c.bestE, c.bestS)
+	if n := len(c.trace); n > 0 && bestE < c.trace[n-1] {
+		c.trace = append(c.trace, bestE)
+	}
+	m.tempFinal.Set(c.temp)
+	res := sctx.finish(best, bestE, bestS, c.trace, c.iters)
+	m.finalCV.Set(res.FinalCV)
 	return res
 }
 
@@ -442,7 +560,11 @@ func ceilDiv(a, b int) int {
 
 // parallelFor runs fn(0..n-1) on a bounded worker pool and waits for all.
 // Callers write results into index i of a pre-sized slice, so output
-// ordering is deterministic regardless of execution order.
+// ordering is deterministic regardless of execution order. A panic in fn
+// is recovered on the worker and re-raised with its original value on the
+// calling goroutine once the pool drains — an anonymous goroutine must
+// never take the whole process down, and callers keep the stack-unwinding
+// semantics of the sequential loop.
 func parallelFor(n int, fn func(int)) {
 	workers := runtime.GOMAXPROCS(0)
 	if workers > n {
@@ -456,10 +578,17 @@ func parallelFor(n int, fn func(int)) {
 	}
 	var next atomic.Int64
 	var wg sync.WaitGroup
+	var panicOnce sync.Once
+	var panicVal any
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
 		go func() {
 			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					panicOnce.Do(func() { panicVal = r })
+				}
+			}()
 			for {
 				i := int(next.Add(1)) - 1
 				if i >= n {
@@ -470,4 +599,7 @@ func parallelFor(n int, fn func(int)) {
 		}()
 	}
 	wg.Wait()
+	if panicVal != nil {
+		panic(panicVal)
+	}
 }

@@ -43,7 +43,17 @@ func (o GAOptions) mutateProb() float64 {
 // trace), exhibiting the mutation-driven rises the paper observes.
 func GA(g *graph.Graph, cfg engine.Config, df engine.Dataflow, opt GAOptions) Result {
 	sctx := newSearch(g, cfg, df, opt.Options)
-	rng := rand.New(rand.NewSource(opt.seed()))
+	best, bestE, trace, gens := runGA(sctx, opt, opt.seed())
+	S := sctx.mean(best)
+	return sctx.finish(best, bestE, S, trace, gens)
+}
+
+// runGA is the GA trajectory on an existing search context, so a
+// portfolio can run it as one member against SA chains sharing the same
+// candidate lists. It polls cancellation between generations (returning
+// the best-so-far) and is otherwise a pure function of (sctx, opt, seed).
+func runGA(sctx *search, opt GAOptions, seed int64) (state, float64, []float64, int) {
+	rng := rand.New(rand.NewSource(seed))
 
 	pop := make([]state, opt.population())
 	for i := range pop {
@@ -56,6 +66,9 @@ func GA(g *graph.Graph, cfg engine.Config, df engine.Dataflow, opt GAOptions) Re
 	var trace []float64
 	gens := 0
 	for gens = 0; gens < opt.maxIters(); gens++ {
+		if opt.cancelled() {
+			break
+		}
 		// Rank by energy ascending (lower variance = fitter).
 		sort.Slice(pop, func(i, j int) bool { return energy(pop[i]) < energy(pop[j]) })
 		if e := energy(pop[0]); e < bestE {
@@ -82,8 +95,7 @@ func GA(g *graph.Graph, cfg engine.Config, df engine.Dataflow, opt GAOptions) Re
 		}
 		pop = next
 	}
-	S := sctx.mean(best)
-	return sctx.finish(best, bestE, S, trace, gens)
+	return best, bestE, trace, gens
 }
 
 func cloneState(st state) state {

@@ -1,0 +1,67 @@
+package anneal
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+// TestParallelForPanic pins the pool's panic contract: a panic inside fn
+// is re-raised on the caller with its original value instead of killing
+// the process from an anonymous goroutine, and the pool still drains
+// (wg.Wait returns) before the re-raise.
+func TestParallelForPanic(t *testing.T) {
+	prev := runtime.GOMAXPROCS(4) // force the worker-pool path on 1-core machines
+	defer runtime.GOMAXPROCS(prev)
+
+	var ran atomic.Int64
+	defer func() {
+		r := recover()
+		if r != "boom 3" {
+			t.Fatalf("recovered %v, want the worker's original panic value", r)
+		}
+		// Indices other than the panicking one must have run: the pool
+		// drains the remaining work rather than abandoning it mid-flight.
+		if n := ran.Load(); n < 1 {
+			t.Errorf("ran = %d workers' worth of indices, want > 0", n)
+		}
+	}()
+	parallelFor(16, func(i int) {
+		if i == 3 {
+			panic("boom 3")
+		}
+		ran.Add(1)
+	})
+	t.Fatal("parallelFor returned normally despite a panicking fn")
+}
+
+// TestParallelForPanicSequential covers the workers<=1 fallback, which
+// must propagate panics exactly like a plain loop.
+func TestParallelForPanicSequential(t *testing.T) {
+	prev := runtime.GOMAXPROCS(1)
+	defer runtime.GOMAXPROCS(prev)
+	defer func() {
+		if r := recover(); r != "seq" {
+			t.Fatalf("recovered %v, want seq", r)
+		}
+	}()
+	parallelFor(4, func(i int) {
+		if i == 2 {
+			panic("seq")
+		}
+	})
+	t.Fatal("sequential parallelFor swallowed the panic")
+}
+
+// TestParallelForCompletes is the baseline: every index runs exactly once.
+func TestParallelForCompletes(t *testing.T) {
+	prev := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(prev)
+	hits := make([]atomic.Int32, 100)
+	parallelFor(len(hits), func(i int) { hits[i].Add(1) })
+	for i := range hits {
+		if n := hits[i].Load(); n != 1 {
+			t.Fatalf("index %d ran %d times, want exactly once", i, n)
+		}
+	}
+}

@@ -59,8 +59,19 @@ type Key struct {
 const numShards = 64
 
 type shard struct {
-	mu sync.RWMutex
-	m  map[Key]engine.Cost
+	mu       sync.RWMutex
+	m        map[Key]engine.Cost
+	inflight map[Key]*inflightCall
+}
+
+// inflightCall is one first-miss evaluation in progress. Duplicate
+// concurrent misses of the same Key park on done instead of re-running
+// the engine model; the leader publishes c (or the panic it hit) before
+// closing done, so joiners observe a fully-written result.
+type inflightCall struct {
+	done     chan struct{}
+	c        engine.Cost
+	panicked any
 }
 
 // Memo is a memoizing Oracle: results of the inner oracle are cached
@@ -71,6 +82,7 @@ type Memo struct {
 	shards [numShards]shard
 	hits   atomic.Int64
 	misses atomic.Int64
+	dedups atomic.Int64
 }
 
 // NewMemo returns a memoizing oracle over inner (Direct{} if nil).
@@ -81,13 +93,16 @@ func NewMemo(inner Oracle) *Memo {
 	m := &Memo{inner: inner}
 	for i := range m.shards {
 		m.shards[i].m = make(map[Key]engine.Cost)
+		m.shards[i].inflight = make(map[Key]*inflightCall)
 	}
 	return m
 }
 
 // Evaluate returns the cached cost, computing and storing it on first use.
-// A concurrent duplicate miss may evaluate twice; both store the identical
-// pure result, so callers always observe the same Cost for the same Key.
+// Concurrent duplicate misses are deduplicated per key (a lightweight
+// shard-local singleflight): the first caller evaluates, the rest join its
+// result — K portfolio chains hitting the same fresh Key cost one engine
+// evaluation, not K. Joins are counted separately in Stats.
 func (m *Memo) Evaluate(cfg engine.Config, df engine.Dataflow, t engine.Task) engine.Cost {
 	k := Key{Cfg: cfg, DF: df, Task: t}
 	sh := &m.shards[shardOf(k)]
@@ -98,11 +113,44 @@ func (m *Memo) Evaluate(cfg engine.Config, df engine.Dataflow, t engine.Task) en
 		m.hits.Add(1)
 		return c
 	}
+	sh.mu.Lock()
+	if c, ok := sh.m[k]; ok {
+		sh.mu.Unlock()
+		m.hits.Add(1)
+		return c
+	}
+	if call, ok := sh.inflight[k]; ok {
+		sh.mu.Unlock()
+		m.dedups.Add(1)
+		<-call.done
+		if call.panicked != nil {
+			panic(call.panicked)
+		}
+		return call.c
+	}
+	call := &inflightCall{done: make(chan struct{})}
+	sh.inflight[k] = call
+	sh.mu.Unlock()
 	m.misses.Add(1)
+	defer func() {
+		if r := recover(); r != nil {
+			// Unregister and wake joiners with the same panic value so a
+			// failing engine model cannot strand them on done forever.
+			call.panicked = r
+			sh.mu.Lock()
+			delete(sh.inflight, k)
+			sh.mu.Unlock()
+			close(call.done)
+			panic(r)
+		}
+	}()
 	c = m.inner.Evaluate(cfg, df, t)
+	call.c = c
 	sh.mu.Lock()
 	sh.m[k] = c
+	delete(sh.inflight, k)
 	sh.mu.Unlock()
+	close(call.done)
 	return c
 }
 
@@ -120,8 +168,8 @@ func (m *Memo) Len() int {
 
 // Stats reports the cache behaviour so far.
 func (m *Memo) Stats() Stats {
-	h, mi := m.hits.Load(), m.misses.Load()
-	return Stats{Evaluations: h + mi, Hits: h, Misses: mi}
+	h, mi, d := m.hits.Load(), m.misses.Load(), m.dedups.Load()
+	return Stats{Evaluations: h + mi + d, Hits: h, Misses: mi, Dedups: d}
 }
 
 // shardOf mixes the task-varying key fields into a shard index. Only the
@@ -153,6 +201,7 @@ type Stats struct {
 	Evaluations int64 // Oracle.Evaluate calls observed
 	Hits        int64 // served from a Memo cache
 	Misses      int64 // computed by the engine model
+	Dedups      int64 // concurrent duplicate misses joined to an in-flight evaluation
 }
 
 // HitRate returns Hits/(Hits+Misses), 0 when nothing was evaluated.
@@ -170,11 +219,17 @@ func (s Stats) Sub(prev Stats) Stats {
 		Evaluations: s.Evaluations - prev.Evaluations,
 		Hits:        s.Hits - prev.Hits,
 		Misses:      s.Misses - prev.Misses,
+		Dedups:      s.Dedups - prev.Dedups,
 	}
 }
 
-// String formats the snapshot for logs.
+// String formats the snapshot for logs. Dedup joins only appear once one
+// happened, so single-threaded logs keep their familiar shape.
 func (s Stats) String() string {
+	if s.Dedups > 0 {
+		return fmt.Sprintf("%d evaluations (%d hits, %d misses, %d dedup joins, %.1f%% hit-rate)",
+			s.Evaluations, s.Hits, s.Misses, s.Dedups, 100*s.HitRate())
+	}
 	return fmt.Sprintf("%d evaluations (%d hits, %d misses, %.1f%% hit-rate)",
 		s.Evaluations, s.Hits, s.Misses, 100*s.HitRate())
 }
@@ -207,7 +262,7 @@ func (i *Instrumented) Stats() Stats {
 	st := Stats{Evaluations: i.calls.Load()}
 	if m, ok := i.inner.(*Memo); ok {
 		ms := m.Stats()
-		st.Hits, st.Misses = ms.Hits, ms.Misses
+		st.Hits, st.Misses, st.Dedups = ms.Hits, ms.Misses, ms.Dedups
 	}
 	return st
 }

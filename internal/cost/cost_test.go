@@ -3,7 +3,9 @@ package cost
 import (
 	"math/rand"
 	"sync"
+	"sync/atomic"
 	"testing"
+	"time"
 
 	"github.com/atomic-dataflow/atomicflow/internal/engine"
 	"github.com/atomic-dataflow/atomicflow/internal/graph"
@@ -116,6 +118,113 @@ func TestMemoConcurrent(t *testing.T) {
 	}
 	if memo.Len() > len(tasks)*2 {
 		t.Errorf("cache holds %d entries for %d unique keys", memo.Len(), len(tasks)*2)
+	}
+}
+
+// blockingOracle parks every evaluation until release is closed, so a
+// test can pile concurrent misses of one key onto a single in-flight
+// leader. calls counts how often the engine model actually ran.
+type blockingOracle struct {
+	entered chan struct{}
+	release chan struct{}
+	calls   int32
+	panics  bool
+}
+
+func (b *blockingOracle) Evaluate(cfg engine.Config, df engine.Dataflow, t engine.Task) engine.Cost {
+	atomic.AddInt32(&b.calls, 1)
+	b.entered <- struct{}{}
+	<-b.release
+	if b.panics {
+		panic("engine model failure")
+	}
+	return engine.Evaluate(cfg, df, t)
+}
+
+// TestMemoDedup pins the singleflight contract: N goroutines missing the
+// same key concurrently run the engine model exactly once — one miss, and
+// N-1 dedup joins that all observe the leader's result.
+func TestMemoDedup(t *testing.T) {
+	const joiners = 7
+	b := &blockingOracle{entered: make(chan struct{}, 1), release: make(chan struct{})}
+	memo := NewMemo(b)
+	cfg := engine.Default()
+	task := engine.Task{Kind: graph.OpConv, Hp: 8, Wp: 8, Ci: 16, Cop: 16, Kh: 3, Kw: 3, Stride: 1}
+	want := engine.Evaluate(cfg, engine.KCPartition, task)
+
+	results := make(chan engine.Cost, joiners+1)
+	for i := 0; i < joiners+1; i++ {
+		go func() { results <- memo.Evaluate(cfg, engine.KCPartition, task) }()
+	}
+	<-b.entered // the leader is inside the engine model
+	// Wait until every other goroutine has parked on the in-flight call;
+	// Dedups is incremented before blocking, so it is the join count.
+	for memo.Stats().Dedups < joiners {
+		time.Sleep(time.Millisecond)
+	}
+	close(b.release)
+	for i := 0; i < joiners+1; i++ {
+		if got := <-results; got != want {
+			t.Fatalf("result %d = %+v, want %+v", i, got, want)
+		}
+	}
+	st := memo.Stats()
+	if st.Misses != 1 || st.Dedups != joiners || st.Hits != 0 {
+		t.Fatalf("stats = %+v, want 1 miss, %d dedup joins, 0 hits", st, joiners)
+	}
+	if st.Evaluations != joiners+1 {
+		t.Errorf("evaluations = %d, want %d (every caller counted once)", st.Evaluations, joiners+1)
+	}
+	if b.calls != 1 {
+		t.Errorf("engine model ran %d times, want 1", b.calls)
+	}
+	// Post-dedup reads are plain cache hits.
+	if got := memo.Evaluate(cfg, engine.KCPartition, task); got != want {
+		t.Fatalf("post-dedup hit = %+v, want %+v", got, want)
+	}
+	if st := memo.Stats(); st.Hits != 1 {
+		t.Errorf("hits = %d, want 1 after the dedup settled", st.Hits)
+	}
+}
+
+// TestMemoDedupPanic checks a panicking leader wakes its joiners with the
+// same panic value and unregisters the in-flight entry, so a later retry
+// re-runs the engine model instead of deadlocking or caching garbage.
+func TestMemoDedupPanic(t *testing.T) {
+	b := &blockingOracle{entered: make(chan struct{}, 1), release: make(chan struct{}), panics: true}
+	memo := NewMemo(b)
+	cfg := engine.Default()
+	task := engine.Task{Kind: graph.OpConv, Hp: 8, Wp: 8, Ci: 16, Cop: 16, Kh: 3, Kw: 3, Stride: 1}
+
+	recovered := make(chan any, 2)
+	eval := func() {
+		defer func() { recovered <- recover() }()
+		memo.Evaluate(cfg, engine.KCPartition, task)
+	}
+	go eval()
+	<-b.entered
+	go eval()
+	for memo.Stats().Dedups < 1 {
+		time.Sleep(time.Millisecond)
+	}
+	close(b.release)
+	for i := 0; i < 2; i++ {
+		if r := <-recovered; r != "engine model failure" {
+			t.Fatalf("caller %d recovered %v, want the oracle's panic value", i, r)
+		}
+	}
+	// The failed flight must not be cached: a retry evaluates again.
+	b.panics = false
+	b.release = make(chan struct{})
+	close(b.release)
+	done := make(chan engine.Cost, 1)
+	go func() { done <- memo.Evaluate(cfg, engine.KCPartition, task) }()
+	<-b.entered
+	if got, want := <-done, engine.Evaluate(cfg, engine.KCPartition, task); got != want {
+		t.Fatalf("retry = %+v, want %+v", got, want)
+	}
+	if b.calls != 2 {
+		t.Errorf("engine model ran %d times, want 2 (failed flight + retry)", b.calls)
 	}
 }
 

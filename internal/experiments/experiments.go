@@ -40,6 +40,10 @@ type Config struct {
 	SAIters int
 	// Seed fixes the SA RNG.
 	Seed int64
+	// Chains is the annealing portfolio width threaded into every SA
+	// search of the experiment (default 1 — the paper's sequential
+	// Algorithm 1; higher values cut sweep wall-clock on multicore).
+	Chains int
 	// Mode selects the scheduling effort (default Greedy: the DP gain is
 	// measured explicitly by Fig10).
 	Mode schedule.Mode
@@ -103,6 +107,13 @@ func (c Config) seed() int64 {
 	return 1
 }
 
+func (c Config) chains() int {
+	if c.Chains > 1 {
+		return c.Chains
+	}
+	return 1
+}
+
 func (c Config) out() io.Writer {
 	if c.Out != nil {
 		return c.Out
@@ -126,9 +137,9 @@ type adPipeline struct {
 // buildAD runs SA + DAG + scheduling for a workload. The hardware model's
 // oracle is threaded through every stage, so candidate generation,
 // scheduling and the later simulation share one cache.
-func buildAD(g *graph.Graph, batch int, hw sim.Config, mode schedule.Mode, saIters int, seed int64) (*adPipeline, error) {
+func buildAD(g *graph.Graph, batch int, hw sim.Config, mode schedule.Mode, saIters int, seed int64, chains int) (*adPipeline, error) {
 	sa := anneal.SA(g, hw.Engine, hw.Dataflow, anneal.Options{
-		MaxIters: saIters, Seed: seed, Oracle: hw.Oracle, Metrics: hw.Metrics})
+		MaxIters: saIters, Seed: seed, Chains: chains, Oracle: hw.Oracle, Metrics: hw.Metrics})
 	d, err := atom.Build(g, batch, sa.Spec)
 	if err != nil {
 		return nil, err
@@ -144,9 +155,9 @@ func buildAD(g *graph.Graph, batch int, hw sim.Config, mode schedule.Mode, saIte
 }
 
 // buildADWithLookahead is buildAD forcing DP mode at an explicit depth.
-func buildADWithLookahead(g *graph.Graph, batch int, hw sim.Config, saIters int, seed int64, lookahead int) (*adPipeline, error) {
+func buildADWithLookahead(g *graph.Graph, batch int, hw sim.Config, saIters int, seed int64, chains, lookahead int) (*adPipeline, error) {
 	sa := anneal.SA(g, hw.Engine, hw.Dataflow, anneal.Options{
-		MaxIters: saIters, Seed: seed, Oracle: hw.Oracle})
+		MaxIters: saIters, Seed: seed, Chains: chains, Oracle: hw.Oracle})
 	d, err := atom.Build(g, batch, sa.Spec)
 	if err != nil {
 		return nil, err
@@ -162,8 +173,8 @@ func buildADWithLookahead(g *graph.Graph, batch int, hw sim.Config, saIters int,
 }
 
 // runAD is buildAD + simulation.
-func runAD(g *graph.Graph, batch int, hw sim.Config, mode schedule.Mode, saIters int, seed int64) (sim.Report, error) {
-	p, err := buildAD(g, batch, hw, mode, saIters, seed)
+func runAD(g *graph.Graph, batch int, hw sim.Config, mode schedule.Mode, saIters int, seed int64, chains int) (sim.Report, error) {
+	p, err := buildAD(g, batch, hw, mode, saIters, seed, chains)
 	if err != nil {
 		return sim.Report{}, err
 	}

@@ -66,7 +66,7 @@ func FPGA(cfg Config) ([]FPGARow, error) {
 		if err != nil {
 			return nil, err
 		}
-		ad, err := runAD(g, batch, hw, cfg.Mode, cfg.saIters(), cfg.seed())
+		ad, err := runAD(g, batch, hw, cfg.Mode, cfg.saIters(), cfg.seed(), cfg.chains())
 		if err != nil {
 			return nil, err
 		}

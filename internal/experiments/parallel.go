@@ -13,6 +13,12 @@ import (
 // strategy list of a latency/throughput cell, the T0-T3 ablation chain)
 // stays sequential inside fn, so parallelism never reorders anything a
 // result depends on.
+//
+// A panic inside fn is caught on the worker, the remaining indices are
+// drained without running, and the first panic value is re-raised on the
+// caller once every worker has stopped — the same contract a plain
+// sequential loop would give, minus the indices that were already in
+// flight on other workers.
 func forEach(n int, fn func(i int)) {
 	workers := runtime.GOMAXPROCS(0)
 	if workers > n {
@@ -24,20 +30,36 @@ func forEach(n int, fn func(i int)) {
 		}
 		return
 	}
-	var next atomic.Int64
-	var wg sync.WaitGroup
+	var (
+		next      atomic.Int64
+		wg        sync.WaitGroup
+		panicOnce sync.Once
+		panicVal  any
+		panicked  atomic.Bool
+	)
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
 		go func() {
 			defer wg.Done()
 			for {
 				i := int(next.Add(1)) - 1
-				if i >= n {
+				if i >= n || panicked.Load() {
 					return
 				}
-				fn(i)
+				func() {
+					defer func() {
+						if r := recover(); r != nil {
+							panicOnce.Do(func() { panicVal = r })
+							panicked.Store(true)
+						}
+					}()
+					fn(i)
+				}()
 			}
 		}()
 	}
 	wg.Wait()
+	if panicked.Load() {
+		panic(panicVal)
+	}
 }

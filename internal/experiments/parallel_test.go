@@ -1,0 +1,39 @@
+package experiments
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+// TestForEachPanic mirrors the anneal pool's contract: a panicking sweep
+// point is re-raised on the caller after the pool drains, and remaining
+// indices are skipped instead of printing partial rows below a corrupt one.
+func TestForEachPanic(t *testing.T) {
+	prev := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(prev)
+	defer func() {
+		if r := recover(); r != "point 5" {
+			t.Fatalf("recovered %v, want the sweep point's panic value", r)
+		}
+	}()
+	forEach(32, func(i int) {
+		if i == 5 {
+			panic("point 5")
+		}
+	})
+	t.Fatal("forEach returned normally despite a panicking point")
+}
+
+// TestForEachCompletes pins the no-panic baseline: every index exactly once.
+func TestForEachCompletes(t *testing.T) {
+	prev := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(prev)
+	hits := make([]atomic.Int32, 64)
+	forEach(len(hits), func(i int) { hits[i].Add(1) })
+	for i := range hits {
+		if n := hits[i].Load(); n != 1 {
+			t.Fatalf("index %d ran %d times, want exactly once", i, n)
+		}
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"fmt"
 	"net/http"
 	"net/http/httptest"
 	"sort"
@@ -121,6 +122,38 @@ func BenchmarkSolveCached(b *testing.B) {
 		}
 		if resp.StatusCode != http.StatusOK {
 			b.Fatalf("status %d", resp.StatusCode)
+		}
+		_, _ = bytes.NewBuffer(nil).ReadFrom(resp.Body)
+		resp.Body.Close()
+	}
+}
+
+// BenchmarkSolveColdChains measures an uncached /solve running a 4-chain
+// search portfolio end to end over HTTP. Every iteration changes the
+// seed, so each request misses the solution cache and pays the full
+// search — the number this bench tracks is the cold-path latency the
+// portfolio is supposed to cut on multicore runners.
+func BenchmarkSolveColdChains(b *testing.B) {
+	s := New(Config{Workers: 2})
+	ts := httptest.NewServer(s.Handler())
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		_ = s.Shutdown(ctx)
+		ts.Close()
+	}()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		body := fmt.Sprintf(`{"model":"tinyconv","sa_iters":400,"chains":4,"seed":%d}`, i+1)
+		resp, err := ts.Client().Post(ts.URL+"/solve", "application/json", strings.NewReader(body))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			b.Fatalf("status %d", resp.StatusCode)
+		}
+		if got := resp.Header.Get("X-Adserve-Cache"); got != "miss" {
+			b.Fatalf("request %d served %q, want a cold miss", i, got)
 		}
 		_, _ = bytes.NewBuffer(nil).ReadFrom(resp.Body)
 		resp.Body.Close()

@@ -27,6 +27,7 @@ type Request struct {
 	Batch    int    `json:"batch,omitempty"`
 	Seed     int64  `json:"seed,omitempty"`
 	SAIters  int    `json:"sa_iters,omitempty"`
+	Chains   int    `json:"chains,omitempty"` // annealing portfolio width (default: server's -chains, else 1)
 	MaxTiles int    `json:"max_tiles,omitempty"`
 	Mode     string `json:"mode,omitempty"` // "dp" (default) or "greedy"
 
@@ -63,6 +64,7 @@ type HardwareSpec struct {
 const (
 	MaxBatch       = 64
 	MaxSAIters     = 20000
+	MaxChains      = 16
 	MaxTilesLimit  = 4096
 	MaxMeshDim     = 32
 	MaxLinkBytes   = 1024
@@ -74,9 +76,22 @@ const (
 // (fuzzed by FuzzSolveRequest), and parsing the same bytes twice yields
 // the same key.
 func ParseRequest(data []byte) (*Request, error) {
+	return parseRequest(data, 0)
+}
+
+// parseRequest is ParseRequest with server-level defaults applied before
+// normalization: a request that omits "chains" takes defChains (0 keeps
+// the library default of 1). Defaults must land before the cache key is
+// computed — the key states the chain count a cached solution was
+// actually searched with, so an explicit chains=1 request can never be
+// answered from a wider portfolio's entry or vice versa.
+func parseRequest(data []byte, defChains int) (*Request, error) {
 	var r Request
 	if err := json.Unmarshal(data, &r); err != nil {
 		return nil, fmt.Errorf("serve: bad request body: %w", err)
+	}
+	if r.Chains == 0 {
+		r.Chains = defChains
 	}
 	if err := r.normalize(); err != nil {
 		return nil, err
@@ -127,6 +142,12 @@ func (r *Request) normalize() error {
 	}
 	if r.SAIters < 1 || r.SAIters > MaxSAIters {
 		return fmt.Errorf("serve: sa_iters %d out of range [1,%d]", r.SAIters, MaxSAIters)
+	}
+	if r.Chains == 0 {
+		r.Chains = 1
+	}
+	if r.Chains < 1 || r.Chains > MaxChains {
+		return fmt.Errorf("serve: chains %d out of range [1,%d]", r.Chains, MaxChains)
 	}
 	if r.MaxTiles == 0 {
 		r.MaxTiles = 1024
@@ -197,8 +218,8 @@ func (r *Request) Key() string { return r.key }
 func (r *Request) computeKey() string {
 	h := sha256.New()
 	fmt.Fprintf(h, "graph %s\n", r.graphHash)
-	fmt.Fprintf(h, "batch %d seed %d iters %d tiles %d mode %s trace %t\n",
-		r.Batch, r.Seed, r.SAIters, r.MaxTiles, r.Mode, r.Trace)
+	fmt.Fprintf(h, "batch %d seed %d iters %d chains %d tiles %d mode %s trace %t\n",
+		r.Batch, r.Seed, r.SAIters, r.Chains, r.MaxTiles, r.Mode, r.Trace)
 	hw := r.Hardware
 	fmt.Fprintf(h, "hw %dx%d link %d buf %d df %s naive %t dbuf %t\n",
 		hw.MeshW, hw.MeshH, hw.LinkBytes, hw.BufferBytes, hw.Dataflow,

@@ -49,6 +49,10 @@ type Config struct {
 	// RequestTimeout is the per-request deadline, also the cap for
 	// request-supplied timeout_ms (default 2m).
 	RequestTimeout time.Duration
+	// DefaultChains is the annealing portfolio width applied to requests
+	// that omit "chains" (default 1, the sequential search). Applied
+	// during request normalization, so it participates in the cache key.
+	DefaultChains int
 	// MaxBodyBytes bounds the /solve request body (default 8 MiB).
 	MaxBodyBytes int64
 	// Hardware is the base accelerator model requests override (default
@@ -330,6 +334,7 @@ func (s *Server) runJob(jb *job) (*solveResult, error) {
 		Hardware:         &hw,
 		Seed:             req.Seed,
 		SAIters:          req.SAIters,
+		Chains:           req.Chains,
 		MaxTilesPerLayer: req.MaxTiles,
 		Context:          jb.ctx,
 	}
