@@ -203,6 +203,12 @@ type Options struct {
 	Chains int
 	// MaxTilesPerLayer caps the atom count per layer (default 1024).
 	MaxTilesPerLayer int
+	// VerifyDelta cross-checks every incrementally-scored SA move against
+	// a from-scratch recomputation, panicking on any divergence. It is a
+	// correctness harness for the O(Δ) move-evaluation machinery (run in
+	// CI over the whole model zoo); it never changes the solution, only
+	// the search's cost.
+	VerifyDelta bool
 	// TraceWriter, when non-nil, receives a Chrome trace-event JSON
 	// document of the simulated execution (open in chrome://tracing or
 	// Perfetto; one lane per engine).
@@ -320,6 +326,7 @@ func Orchestrate(g *Graph, opt Options) (*Solution, error) {
 		Seed:           opt.Seed,
 		Chains:         opt.Chains,
 		MaxTilesPerLay: opt.MaxTilesPerLayer,
+		VerifyDelta:    opt.VerifyDelta,
 		Oracle:         hw.Oracle,
 		Metrics:        hw.Metrics,
 		Ctx:            ctx,

@@ -546,6 +546,32 @@ func BenchmarkAnnealChains(b *testing.B) {
 	}
 }
 
+// BenchmarkAnnealDeep measures the SA search alone on the synthetic
+// 1000+-compute-layer workload — the stress case for O(Δ) incremental
+// move evaluation. iters/sec is the headline metric: with full
+// per-iteration recomputation it decays linearly with graph depth; with
+// delta evaluation a move costs only the layers whose candidate pick
+// actually changes.
+func BenchmarkAnnealDeep(b *testing.B) {
+	g, err := LoadModel("deepchain1k")
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := engine.Default()
+	orc := cost.NewMemo(cost.Direct{})
+	// Warm the oracle so candidate pricing is out of the measurement.
+	anneal.SA(g, cfg, engine.KCPartition, anneal.Options{MaxIters: 1, Seed: 1, Oracle: orc})
+	var iters int
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := anneal.SA(g, cfg, engine.KCPartition, anneal.Options{
+			MaxIters: 2000, Seed: 1, Oracle: orc,
+		})
+		iters = res.Iters
+	}
+	b.ReportMetric(float64(iters)*float64(b.N)/b.Elapsed().Seconds(), "iters/sec")
+}
+
 // BenchmarkOrchestrateScaling exercises the pipeline end to end on the
 // deepest workload (ResNet-1001) to demonstrate scalability of the
 // greedy scheduling path.

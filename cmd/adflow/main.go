@@ -31,6 +31,7 @@ func main() {
 		saIters   = flag.Int("sa-iters", 400, "simulated-annealing iterations for atom generation")
 		seed      = flag.Int64("seed", 1, "search seed")
 		chains    = flag.Int("chains", 1, "parallel annealing chains (deterministic for a fixed seed)")
+		verifyDlt = flag.Bool("verify-delta", false, "cross-check every incremental SA move against a full recomputation (correctness harness; slower)")
 		baselines = flag.Bool("baselines", false, "also run LS, CNN-P, IL-Pipe and Rammer")
 		traceFile = flag.String("trace", "", "write a Chrome trace-event JSON of the AD execution to this file")
 		perfetto  = flag.String("perfetto", "", "write a full-span Perfetto trace (engine/NoC/DRAM lanes) to this file")
@@ -78,7 +79,7 @@ func main() {
 
 	opts := af.Options{
 		Batch: *batch, Hardware: &hw, Mode: schedMode,
-		SAIters: *saIters, Seed: *seed, Chains: *chains,
+		SAIters: *saIters, Seed: *seed, Chains: *chains, VerifyDelta: *verifyDlt,
 	}
 	if *traceFile != "" {
 		f, err := os.Create(*traceFile)

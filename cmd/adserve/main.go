@@ -35,6 +35,7 @@ func main() {
 		cache   = flag.Int("cache", 256, "solution cache entries (LRU)")
 		timeout = flag.Duration("timeout", 2*time.Minute, "per-request solve deadline")
 		chains  = flag.Int("chains", 0, "default annealing chains for requests that omit the field (0 = 1)")
+		verify  = flag.Bool("verify-delta", false, "cross-check every incremental SA move against a full recomputation on all requests (correctness harness; slower)")
 		drain   = flag.Duration("drain", 30*time.Second, "graceful-shutdown drain budget on SIGINT/SIGTERM")
 	)
 	flag.Parse()
@@ -45,6 +46,7 @@ func main() {
 		CacheEntries:   *cache,
 		RequestTimeout: *timeout,
 		DefaultChains:  *chains,
+		VerifyDelta:    *verify,
 	})
 	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
 

@@ -12,6 +12,9 @@ import (
 var updateDigests = flag.Bool("update-digests", false,
 	"rewrite testdata/zoo_digests.json from the current pipeline")
 
+var verifyDelta = flag.Bool("verify-delta", false,
+	"run the matrix with incremental-vs-full search cross-checking (the verify-delta CI leg)")
+
 // matrixProfile is one (search, hardware) size the matrix is pinned at.
 // Both profiles run the complete anneal → schedule → map → simulate
 // pipeline; "short" only shrinks the mesh and the search so `go test
@@ -30,7 +33,8 @@ func (p matrixProfile) run(t *testing.T, model string) *Solution {
 	if err != nil {
 		t.Fatal(err)
 	}
-	opt := Options{Seed: 1, SAIters: p.saIters, MaxTilesPerLayer: p.maxTiles}
+	opt := Options{Seed: 1, SAIters: p.saIters, MaxTilesPerLayer: p.maxTiles,
+		VerifyDelta: *verifyDelta}
 	if p.meshSide > 0 {
 		hw := DefaultHardware()
 		hw.Mesh = NewMesh(p.meshSide, p.meshSide, hw.Mesh.LinkBytes)

@@ -5,6 +5,7 @@ import (
 	"math"
 	"math/rand"
 	"runtime"
+	"slices"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -67,6 +68,14 @@ type Options struct {
 	// single-point state to exchange) and competes only in the final
 	// reduction.
 	PortfolioGA bool
+
+	// VerifyDelta cross-checks every incrementally-scored move against a
+	// from-scratch recomputation (full argmin rebuild + exact accumulator
+	// rebuild) and panics on any divergence — see (*search).verifyDelta.
+	// It is a correctness harness for the O(Δ) move-evaluation machinery,
+	// run by a dedicated CI leg over the whole zoo; it never changes the
+	// search trajectory, only its cost.
+	VerifyDelta bool
 }
 
 func (o Options) cancelled() bool {
@@ -157,11 +166,13 @@ type Result struct {
 
 // state is one assignment of candidate indices to compute layers, stored
 // densely in search.all order (participating layers first, stragglers
-// after). The dense form keeps the SA/GA inner loops (mean/variance over
-// every layer, recomputed per iteration and per sort comparison) free of
-// map lookups.
+// after), together with the exact integer sums its energy derives from.
+// Every constructor and mutator (randomState, argmin, walker.moveTo,
+// crossover, mutate) keeps acc in sync with choice, so scoring a state —
+// or re-scoring it after an O(Δ) move — never walks the layers again.
 type state struct {
 	choice []int // search.all index -> candidate index
+	acc    accum // S1/S2 sums over the first nOrder choices
 }
 
 // saMetrics bundles the run-wide search instruments. Every instrument is
@@ -196,12 +207,18 @@ func newSAMetrics(opt Options) saMetrics {
 // RNG, so its path is a pure function of its seed and of the states
 // injected at exchange barriers — never of goroutine scheduling. The
 // single-chain SA path and every portfolio member run the same code.
+//
+// The accepted state is held as scalars only (E, S): Algorithm 1's
+// proposal is the argmin image of the shifted target, which depends on
+// the current state only through S, so the chain never needs the current
+// choice vector — just the walker's incrementally-maintained proposal
+// and a materialized snapshot of the best state seen.
 type saChain struct {
 	idx int
 	rng *rand.Rand
 
-	cur  state
-	E, S float64
+	w    *walker // incremental argmin image (the move proposal)
+	E, S float64 // energy / unified cycle of the accepted state
 
 	best         state
 	bestE, bestS float64
@@ -223,13 +240,15 @@ type saChain struct {
 func newChain(idx int, seed int64, sctx *search, opt Options) *saChain {
 	c := &saChain{idx: idx, rng: rand.New(rand.NewSource(seed))}
 	// Line 1-4: random initialization of every layer's atom size.
-	c.cur = sctx.randomState(c.rng)
+	cur := sctx.randomState(c.rng)
 	// Line 5-7: initial unified cycle S = mean, energy E = Var.
-	c.S = sctx.mean(c.cur)
-	c.E = sctx.variance(c.cur, c.S)
-	c.best, c.bestE, c.bestS = c.cur, c.E, c.S
+	c.S, c.E = cur.acc.meanVariance()
+	c.best, c.bestE, c.bestS = cur, c.E, c.S
 	c.temp = opt.temp()
 	c.lenAbs = c.S * opt.lenFrac()
+	// The proposal walker pays its one full argmin build here; every move
+	// after is incremental.
+	c.w = sctx.newWalker(c.S)
 	return c
 }
 
@@ -247,9 +266,14 @@ func (c *saChain) run(sctx *search, opt Options, n int, m saMetrics) {
 		if Smove < 1 {
 			Smove = 1
 		}
-		// Line 11-14: re-pick each layer's atom closest to S^move.
-		next := sctx.argmin(Smove)
-		Emove := sctx.variance(next, sctx.mean(next))
+		// Line 11-14: re-pick each layer's atom closest to S^move — an
+		// O(changed layers) slide of the walker, scored in O(1) from the
+		// exact accumulators.
+		c.w.moveTo(Smove)
+		moveS, Emove := c.w.st.acc.meanVariance()
+		if opt.VerifyDelta {
+			sctx.verifyDelta(c.w, Smove)
+		}
 		// Line 16-22: Metropolis acceptance with decaying temperature.
 		// Energies are normalized by the squared state (i.e. compared as
 		// squared coefficients of variation) so the temperature schedule
@@ -263,14 +287,18 @@ func (c *saChain) run(sctx *search, opt Options, n int, m saMetrics) {
 			c.accepts++
 			m.accepts.Inc()
 			m.delta.Observe(math.Abs(c.E - Emove))
-			c.cur, c.E, c.S = next, Emove, sctx.mean(next)
+			c.E, c.S = Emove, moveS
 			c.lenAbs = c.S * opt.lenFrac()
+			// E only changes on acceptance (or barrier adoption, handled
+			// by the portfolio), so the best-state snapshot — the one
+			// O(layers) copy left on this path — happens exactly on
+			// strict improvement.
+			if c.E < c.bestE {
+				c.best, c.bestE, c.bestS = cloneState(c.w.st), c.E, c.S
+			}
 		} else {
 			c.rejects++
 			m.rejects.Inc()
-		}
-		if c.E < c.bestE {
-			c.best, c.bestE, c.bestS = c.cur, c.E, c.S
 		}
 		c.trace = append(c.trace, c.bestE)
 		// Line 23-25: convergence on normalized variance.
@@ -283,29 +311,55 @@ func (c *saChain) run(sctx *search, opt Options, n int, m saMetrics) {
 
 // polish is the deterministic post-search sweep ("for better
 // convergence"): a grid of unified-cycle targets around the best state,
-// keeping the minimum. Grid points are independent, so they are priced on
-// the worker pool and reduced in index order with a strict less-than —
-// bit-identical to the sequential sweep for any GOMAXPROCS.
+// keeping the minimum. The grid is cut into contiguous ascending chunks,
+// one walker per chunk, so each worker pays one full argmin build and
+// then slides: a grid point costs only the pick boundaries between it
+// and its predecessor. Scores come from the exact integer accumulators,
+// so chunking is invisible to the result, and the index-ordered
+// strict-less-than reduction keeps the sweep bit-identical to the
+// sequential one for any GOMAXPROCS.
 func (s *search) polish(opt Options, best state, bestE, bestS float64) (state, float64, float64) {
 	const n = 97
 	lo, hi := bestS*0.2, bestS*2.5
-	sts := make([]state, n)
+	targets := make([]float64, n)
+	for i := range targets {
+		targets[i] = lo + (hi-lo)*float64(i)/(n-1)
+	}
 	es := make([]float64, n)
 	ms := make([]float64, n)
-	parallelFor(n, func(i int) {
-		if opt.cancelled() {
-			es[i] = math.Inf(1)
+	const chunks = 8
+	per := (n + chunks - 1) / chunks
+	parallelFor(chunks, func(ci int) {
+		start, end := ci*per, ci*per+per
+		if end > n {
+			end = n
+		}
+		if start >= end {
 			return
 		}
-		S := lo + (hi-lo)*float64(i)/(n-1)
-		st := s.argmin(S)
-		m := s.mean(st)
-		sts[i], ms[i], es[i] = st, m, s.variance(st, m)
+		w := s.newWalker(targets[start])
+		for i := start; i < end; i++ {
+			if opt.cancelled() {
+				es[i] = math.Inf(1)
+				continue
+			}
+			w.moveTo(targets[i])
+			if opt.VerifyDelta {
+				s.verifyDelta(w, targets[i])
+			}
+			ms[i], es[i] = w.st.acc.meanVariance()
+		}
 	})
+	win := -1
 	for i := 0; i < n; i++ {
 		if es[i] < bestE {
-			best, bestE, bestS = sts[i], es[i], ms[i]
+			bestE, bestS, win = es[i], ms[i], i
 		}
+	}
+	if win >= 0 {
+		// Rebuild the winning image once; argmin is a pure function of the
+		// target, so this is the state the walker scored.
+		best = s.argmin(targets[win])
 	}
 	return best, bestE, bestS
 }
@@ -349,6 +403,10 @@ type search struct {
 	lcAt   []layerCands
 	nOrder int // first nOrder entries of all participate in the energy
 
+	// events is the t-sorted union of every layer's pick boundaries —
+	// the index the walkers slide over (see delta.go).
+	events []pickEvent
+
 	// stragglers are layers whose minimum achievable atom cycle is far
 	// above the typical layer's (e.g. a weight-bound FC whose coarsest
 	// serialization already exceeds every CONV option). They can never
@@ -361,16 +419,39 @@ type search struct {
 func newSearch(g *graph.Graph, cfg engine.Config, df engine.Dataflow, opt Options) *search {
 	s := &search{g: g, cfg: cfg, df: df, opt: opt,
 		orc: cost.Or(opt.Oracle), cands: make(map[int]layerCands)}
-	// Candidate generation is embarrassingly parallel per layer:
-	// genCandidates is a pure function of (layer, cfg, df, opt), so the
-	// worker pool changes nothing about the candidate lists — and therefore
-	// nothing about the seeded SA/GA trajectory — only the wall-clock.
+	// Candidate generation is embarrassingly parallel per layer, and a pure
+	// function of (kind, shape, cfg, df, opt) — so layers with identical
+	// shapes share one generated list (deep networks repeat the same block
+	// hundreds of times), and the worker pool changes nothing about the
+	// candidate lists — and therefore nothing about the seeded SA/GA
+	// trajectory — only the wall-clock. The shared slices are read-only
+	// everywhere downstream.
 	ids := g.ComputeLayers()
 	built := make([]layerCands, len(ids))
-	parallelFor(len(ids), func(i int) {
-		l := g.Layer(ids[i])
-		built[i] = layerCands{layer: l, cands: genCandidates(l, cfg, df, opt, s.orc)}
+	type candKey struct {
+		kind  graph.OpKind
+		shape graph.Shape
+	}
+	keys := make([]candKey, len(ids))
+	uniq := make(map[candKey]int, len(ids))
+	var uniqIdx []int
+	for i, lid := range ids {
+		l := g.Layer(lid)
+		keys[i] = candKey{l.Kind, l.Shape}
+		if _, ok := uniq[keys[i]]; !ok {
+			uniq[keys[i]] = i
+			uniqIdx = append(uniqIdx, i)
+		}
+	}
+	parallelFor(len(uniqIdx), func(k int) {
+		l := g.Layer(ids[uniqIdx[k]])
+		built[uniqIdx[k]] = layerCands{layer: l, cands: genCandidates(l, cfg, df, opt, s.orc)}
 	})
+	for i, lid := range ids {
+		if j := uniq[keys[i]]; j != i {
+			built[i] = layerCands{layer: g.Layer(lid), cands: built[j].cands}
+		}
+	}
 	var all []int
 	var mins []int64
 	for i, lid := range ids {
@@ -414,13 +495,21 @@ func newSearch(g *graph.Graph, cfg engine.Config, df engine.Dataflow, opt Option
 	} else {
 		s.scale = 1
 	}
+	s.buildDeltaIndex()
 	return s
 }
 
+// randomState draws a uniform candidate per participating layer, with the
+// accumulators built alongside. Layers are weighted uniformly in the
+// energy: weighting by atom count would reward the degenerate attractor
+// of one layer shattered into thousands of identical tiny atoms (the
+// variance collapses because the tiny atoms become the population).
 func (s *search) randomState(rng *rand.Rand) state {
-	st := state{choice: make([]int, len(s.all))}
+	st := state{choice: make([]int, len(s.all)), acc: accum{n: s.nOrder}}
 	for i := 0; i < s.nOrder; i++ {
-		st.choice[i] = rng.Intn(len(s.lcAt[i].cands))
+		c := rng.Intn(len(s.lcAt[i].cands))
+		st.choice[i] = c
+		st.acc.add(s.lcAt[i].cands[c].cycles)
 	}
 	// Stragglers keep the zero value: the minimum-cycle candidate.
 	return st
@@ -430,9 +519,14 @@ func (s *search) randomState(rng *rand.Rand) state {
 // (Algorithm 1 line 13). Stragglers participate too: with the target
 // below their floor this selects their minimum-cycle candidate.
 func (s *search) argmin(target float64) state {
-	st := state{choice: make([]int, len(s.all))}
+	t := targetOf(target)
+	st := state{choice: make([]int, len(s.all)), acc: accum{n: s.nOrder}}
 	for i := range s.all {
-		st.choice[i] = s.lcAt[i].pick(int64(target))
+		c := s.lcAt[i].pick(t)
+		st.choice[i] = c
+		if i < s.nOrder {
+			st.acc.add(s.lcAt[i].cands[c].cycles)
+		}
 	}
 	return st
 }
@@ -443,46 +537,8 @@ func median(xs []int64) int64 {
 		return 0
 	}
 	cp := append([]int64(nil), xs...)
-	sortInt64(cp)
+	slices.Sort(cp)
 	return cp[len(cp)/2]
-}
-
-func sortInt64(xs []int64) {
-	for i := 1; i < len(xs); i++ {
-		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
-			xs[j], xs[j-1] = xs[j-1], xs[j]
-		}
-	}
-}
-
-// mean returns the mean per-layer atom execution cycle of the state.
-// Layers are weighted uniformly: weighting by atom count would reward the
-// degenerate attractor of one layer shattered into thousands of identical
-// tiny atoms (the variance collapses because the tiny atoms become the
-// population).
-func (s *search) mean(st state) float64 {
-	var sum float64
-	for i := 0; i < s.nOrder; i++ {
-		sum += float64(s.lcAt[i].cands[st.choice[i]].cycles)
-	}
-	if s.nOrder == 0 {
-		return 0
-	}
-	return sum / float64(s.nOrder)
-}
-
-// variance returns the variance of per-layer atom execution cycles — the
-// system energy of Algorithm 1.
-func (s *search) variance(st state, mean float64) float64 {
-	var sum float64
-	for i := 0; i < s.nOrder; i++ {
-		d := float64(s.lcAt[i].cands[st.choice[i]].cycles) - mean
-		sum += d * d
-	}
-	if s.nOrder == 0 {
-		return 0
-	}
-	return sum / float64(s.nOrder)
 }
 
 // finish assembles the Result: compute-layer partitions from the chosen

@@ -353,19 +353,27 @@ func TestSADeterministicAcrossOracles(t *testing.T) {
 }
 
 func TestSAOracleHitRate(t *testing.T) {
-	// Atoms of one layer partition are identical tasks, and SA revisits
-	// partitions across iterations, so a memoized oracle must serve well
-	// over half the evaluations from cache on a real workload.
+	// Candidate generation dedupes shape-identical layers before touching
+	// the oracle, so a single search mostly issues distinct tasks — but a
+	// second search of the same workload through the same memo must be
+	// served (almost) entirely from cache: that is what sharing the run's
+	// oracle across anneal/schedule/sim buys.
 	g := models.MustBuild("resnet50")
 	orc := cost.NewMemo(cost.Direct{})
 	SA(g, engine.Default(), engine.KCPartition,
 		Options{MaxIters: 300, Seed: 1, Oracle: orc})
-	st := orc.Stats()
-	if st.Evaluations == 0 {
+	first := orc.Stats()
+	if first.Evaluations == 0 {
 		t.Fatal("oracle saw no evaluations")
 	}
-	if hr := st.HitRate(); hr <= 0.5 {
-		t.Errorf("SA hit rate %.1f%% on resnet50, want > 50%%", 100*hr)
+	SA(g, engine.Default(), engine.KCPartition,
+		Options{MaxIters: 300, Seed: 1, Oracle: orc})
+	second := orc.Stats().Sub(first)
+	if second.Evaluations == 0 {
+		t.Fatal("second search bypassed the oracle")
+	}
+	if hr := second.HitRate(); hr <= 0.99 {
+		t.Errorf("repeat-search hit rate %.1f%% on resnet50, want > 99%%", 100*hr)
 	}
 }
 

@@ -44,8 +44,7 @@ func (o GAOptions) mutateProb() float64 {
 func GA(g *graph.Graph, cfg engine.Config, df engine.Dataflow, opt GAOptions) Result {
 	sctx := newSearch(g, cfg, df, opt.Options)
 	best, bestE, trace, gens := runGA(sctx, opt, opt.seed())
-	S := sctx.mean(best)
-	return sctx.finish(best, bestE, S, trace, gens)
+	return sctx.finish(best, bestE, best.acc.mean(), trace, gens)
 }
 
 // runGA is the GA trajectory on an existing search context, so a
@@ -59,7 +58,9 @@ func runGA(sctx *search, opt GAOptions, seed int64) (state, float64, []float64, 
 	for i := range pop {
 		pop[i] = sctx.randomState(rng)
 	}
-	energy := func(st state) float64 { return sctx.variance(st, sctx.mean(st)) }
+	// States carry exact accumulators, so fitness is O(1) per call — the
+	// per-generation sort no longer walks every layer per comparison.
+	energy := func(st state) float64 { return st.acc.variance() }
 
 	best := pop[0]
 	bestE := energy(best)
@@ -78,7 +79,7 @@ func runGA(sctx *search, opt GAOptions, seed int64) (state, float64, []float64, 
 		// generation's champion, which mutation can make worse — the
 		// abrupt rises/falls the paper notes in Fig. 5b.
 		trace = append(trace, energy(pop[0]))
-		if bestE/(sctx.mean(best)*sctx.mean(best)+1) <= opt.epsilon() {
+		if m := best.acc.mean(); bestE/(m*m+1) <= opt.epsilon() {
 			gens++
 			break
 		}
@@ -90,7 +91,7 @@ func runGA(sctx *search, opt GAOptions, seed int64) (state, float64, []float64, 
 			a := tournament(pop, energy, rng)
 			b := tournament(pop, energy, rng)
 			child := crossover(sctx, a, b, rng)
-			mutate(sctx, child, rng, opt.mutateProb())
+			mutate(sctx, &child, rng, opt.mutateProb())
 			next = append(next, child)
 		}
 		pop = next
@@ -99,7 +100,7 @@ func runGA(sctx *search, opt GAOptions, seed int64) (state, float64, []float64, 
 }
 
 func cloneState(st state) state {
-	return state{choice: append([]int(nil), st.choice...)}
+	return state{choice: append([]int(nil), st.choice...), acc: st.acc}
 }
 
 func tournament(pop []state, energy func(state) float64, rng *rand.Rand) state {
@@ -113,22 +114,25 @@ func tournament(pop []state, energy func(state) float64, rng *rand.Rand) state {
 
 func crossover(s *search, a, b state, rng *rand.Rand) state {
 	// Straggler genes keep the zero value (their minimum-cycle candidate);
-	// only energy-participating layers cross over, as in the SA moves.
-	c := state{choice: make([]int, len(s.all))}
+	// only energy-participating layers cross over, as in the SA moves. The
+	// child's accumulators are built alongside the genes.
+	c := state{choice: make([]int, len(s.all)), acc: accum{n: s.nOrder}}
 	for i := 0; i < s.nOrder; i++ {
-		if rng.Intn(2) == 0 {
-			c.choice[i] = a.choice[i]
-		} else {
-			c.choice[i] = b.choice[i]
+		g := a.choice[i]
+		if rng.Intn(2) != 0 {
+			g = b.choice[i]
 		}
+		c.choice[i] = g
+		c.acc.add(s.lcAt[i].cands[g].cycles)
 	}
 	return c
 }
 
-func mutate(s *search, st state, rng *rand.Rand, prob float64) {
+// mutate flips genes in place; set keeps the accumulators in sync.
+func mutate(s *search, st *state, rng *rand.Rand, prob float64) {
 	for i := 0; i < s.nOrder; i++ {
 		if rng.Float64() < prob {
-			st.choice[i] = rng.Intn(len(s.lcAt[i].cands))
+			st.set(s, i, rng.Intn(len(s.lcAt[i].cands)))
 		}
 	}
 }

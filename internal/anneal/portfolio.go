@@ -149,11 +149,13 @@ func portfolioSA(g *graph.Graph, cfg engine.Config, df engine.Dataflow, opt Opti
 			if c.idx == chains[gb].idx || chains[gb].bestE >= c.E {
 				continue
 			}
-			c.cur = cloneState(chains[gb].best)
+			// Adoption only moves the scalars: the chain's next proposal is
+			// the argmin image of a target drawn around the adopted S, which
+			// the walker reaches incrementally from wherever it stands.
 			c.E, c.S = chains[gb].bestE, chains[gb].bestS
 			c.lenAbs = c.S * opt.lenFrac()
 			if c.E < c.bestE {
-				c.best, c.bestE, c.bestS = c.cur, c.E, c.S
+				c.best, c.bestE, c.bestS = cloneState(chains[gb].best), c.E, c.S
 			}
 			c.adoptions++
 			exchanges++
@@ -172,7 +174,7 @@ func portfolioSA(g *graph.Graph, cfg engine.Config, df engine.Dataflow, opt Opti
 	best, bestE, bestS := win.best, win.bestE, win.bestS
 	trace, iters, temp := win.trace, win.iters, win.temp
 	if ga != nil && ga.bestE < bestE {
-		best, bestE, bestS = ga.best, ga.bestE, sctx.mean(ga.best)
+		best, bestE, bestS = ga.best, ga.bestE, ga.best.acc.mean()
 		trace, iters, temp = ga.trace, ga.gens, 0
 	}
 

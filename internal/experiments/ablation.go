@@ -36,7 +36,7 @@ func Topologies(cfg Config) ([]TopologyRow, error) {
 		for _, m := range meshes {
 			hw := base
 			hw.Mesh = m
-			rep, err := runAD(g, cfg.batch(4), hw, cfg.Mode, cfg.saIters(), cfg.seed(), cfg.chains())
+			rep, err := runAD(g, cfg.batch(4), hw, cfg.Mode, cfg.search())
 			if err != nil {
 				return nil, err
 			}
@@ -75,7 +75,7 @@ func MappingAblation(cfg Config) ([]MappingRow, error) {
 		for _, optimized := range []bool{false, true} {
 			h := hw
 			h.NaiveMapping = !optimized
-			rep, err := runAD(g, cfg.batch(4), h, cfg.Mode, cfg.saIters(), cfg.seed(), cfg.chains())
+			rep, err := runAD(g, cfg.batch(4), h, cfg.Mode, cfg.search())
 			if err != nil {
 				return nil, err
 			}
@@ -123,7 +123,7 @@ func FlexDataflow(cfg Config) ([]FlexRow, error) {
 			hw := base
 			hw.Engine = variant.eng
 			hw.Dataflow = variant.df
-			rep, err := runAD(g, cfg.batch(1), hw, cfg.Mode, cfg.saIters(), cfg.seed(), cfg.chains())
+			rep, err := runAD(g, cfg.batch(1), hw, cfg.Mode, cfg.search())
 			if err != nil {
 				return nil, err
 			}
@@ -162,7 +162,7 @@ func SearchOverhead(cfg Config) ([]SearchRow, error) {
 	for _, name := range cfg.workloads([]string{"resnet50", "resnet152", "inceptionv3"}) {
 		g := mustModel(name)
 		start := timeNow()
-		p, err := buildAD(g, cfg.batch(1), hw, cfg.Mode, cfg.saIters(), cfg.seed(), cfg.chains())
+		p, err := buildAD(g, cfg.batch(1), hw, cfg.Mode, cfg.search())
 		if err != nil {
 			return nil, err
 		}
@@ -197,7 +197,7 @@ func LookaheadAblation(cfg Config) ([]LookaheadRow, error) {
 	var rows []LookaheadRow
 	cfg.printf("Ablation — DP lookahead depth on %s\n", name)
 	for _, depth := range []int{1, 2, 3, 5} {
-		p, err := buildADWithLookahead(g, cfg.batch(4), hw, cfg.saIters(), cfg.seed(), cfg.chains(), depth)
+		p, err := buildADWithLookahead(g, cfg.batch(4), hw, cfg.search(), depth)
 		if err != nil {
 			return nil, err
 		}

@@ -44,7 +44,7 @@ func Fig12(cfg Config) ([]Fig12Point, error) {
 				hw.Engine.PEx, hw.Engine.PEy = peSide, peSide
 				hw.Engine.BufferBytes = int(totalBuffer / int64(grid*grid))
 				hw.BufferBytes = int64(hw.Engine.BufferBytes)
-				rep, err := runAD(g, batch, hw, cfg.Mode, cfg.saIters(), cfg.seed(), cfg.chains())
+				rep, err := runAD(g, batch, hw, cfg.Mode, cfg.search())
 				if err != nil {
 					return nil, err
 				}
@@ -97,7 +97,7 @@ func Fig13(cfg Config) ([]Fig13Point, error) {
 			hw := base
 			hw.Engine.BufferBytes = buf
 			hw.BufferBytes = int64(buf)
-			rep, err := runAD(g, cfg.batch(1), hw, cfg.Mode, cfg.saIters(), cfg.seed(), cfg.chains())
+			rep, err := runAD(g, cfg.batch(1), hw, cfg.Mode, cfg.search())
 			if err != nil {
 				return nil, err
 			}

@@ -47,6 +47,11 @@ type Config struct {
 	// Mode selects the scheduling effort (default Greedy: the DP gain is
 	// measured explicitly by Fig10).
 	Mode schedule.Mode
+	// VerifyDelta runs every SA search of the experiment with
+	// incremental-vs-full cross-checking (see anneal.Options.VerifyDelta).
+	// Purely a correctness harness: results are unchanged, searches cost
+	// more. cmd/adexp exposes it as -verify-delta.
+	VerifyDelta bool
 	// Out receives the printed rows (nil = discard).
 	Out io.Writer
 	// Oracle prices atoms across the whole experiment run (default: a
@@ -114,6 +119,37 @@ func (c Config) chains() int {
 	return 1
 }
 
+// searchOpts bundles the SA parameters threaded through every experiment
+// pipeline — one value to pass instead of a trail of positional ints.
+type searchOpts struct {
+	saIters     int
+	seed        int64
+	chains      int
+	verifyDelta bool
+}
+
+func (c Config) search() searchOpts {
+	return searchOpts{
+		saIters:     c.saIters(),
+		seed:        c.seed(),
+		chains:      c.chains(),
+		verifyDelta: c.VerifyDelta,
+	}
+}
+
+// anneal expands the search parameters into the full SA option set on a
+// hardware model (oracle and metrics ride along from hw).
+func (so searchOpts) anneal(hw sim.Config) anneal.Options {
+	return anneal.Options{
+		MaxIters:    so.saIters,
+		Seed:        so.seed,
+		Chains:      so.chains,
+		VerifyDelta: so.verifyDelta,
+		Oracle:      hw.Oracle,
+		Metrics:     hw.Metrics,
+	}
+}
+
 func (c Config) out() io.Writer {
 	if c.Out != nil {
 		return c.Out
@@ -137,9 +173,8 @@ type adPipeline struct {
 // buildAD runs SA + DAG + scheduling for a workload. The hardware model's
 // oracle is threaded through every stage, so candidate generation,
 // scheduling and the later simulation share one cache.
-func buildAD(g *graph.Graph, batch int, hw sim.Config, mode schedule.Mode, saIters int, seed int64, chains int) (*adPipeline, error) {
-	sa := anneal.SA(g, hw.Engine, hw.Dataflow, anneal.Options{
-		MaxIters: saIters, Seed: seed, Chains: chains, Oracle: hw.Oracle, Metrics: hw.Metrics})
+func buildAD(g *graph.Graph, batch int, hw sim.Config, mode schedule.Mode, so searchOpts) (*adPipeline, error) {
+	sa := anneal.SA(g, hw.Engine, hw.Dataflow, so.anneal(hw))
 	d, err := atom.Build(g, batch, sa.Spec)
 	if err != nil {
 		return nil, err
@@ -155,9 +190,8 @@ func buildAD(g *graph.Graph, batch int, hw sim.Config, mode schedule.Mode, saIte
 }
 
 // buildADWithLookahead is buildAD forcing DP mode at an explicit depth.
-func buildADWithLookahead(g *graph.Graph, batch int, hw sim.Config, saIters int, seed int64, chains, lookahead int) (*adPipeline, error) {
-	sa := anneal.SA(g, hw.Engine, hw.Dataflow, anneal.Options{
-		MaxIters: saIters, Seed: seed, Chains: chains, Oracle: hw.Oracle})
+func buildADWithLookahead(g *graph.Graph, batch int, hw sim.Config, so searchOpts, lookahead int) (*adPipeline, error) {
+	sa := anneal.SA(g, hw.Engine, hw.Dataflow, so.anneal(hw))
 	d, err := atom.Build(g, batch, sa.Spec)
 	if err != nil {
 		return nil, err
@@ -173,8 +207,8 @@ func buildADWithLookahead(g *graph.Graph, batch int, hw sim.Config, saIters int,
 }
 
 // runAD is buildAD + simulation.
-func runAD(g *graph.Graph, batch int, hw sim.Config, mode schedule.Mode, saIters int, seed int64, chains int) (sim.Report, error) {
-	p, err := buildAD(g, batch, hw, mode, saIters, seed, chains)
+func runAD(g *graph.Graph, batch int, hw sim.Config, mode schedule.Mode, so searchOpts) (sim.Report, error) {
+	p, err := buildAD(g, batch, hw, mode, so)
 	if err != nil {
 		return sim.Report{}, err
 	}

@@ -59,7 +59,7 @@ func Fig5a(cfg Config) ([]Fig5aRow, error) {
 	forEach(len(names), func(i int) {
 		g := mustModel(names[i])
 		res := anneal.SA(g, hw.Engine, hw.Dataflow,
-			anneal.Options{MaxIters: cfg.saIters(), Seed: cfg.seed(), Chains: cfg.chains(), Oracle: hw.Oracle})
+			cfg.search().anneal(hw))
 		row := Fig5aRow{Workload: names[i], MeanCycle: res.MeanCycle, CV: res.FinalCV,
 			Histogram: make(map[int]int)}
 		for lid, cyc := range res.LayerCycles {
@@ -94,7 +94,7 @@ func Fig5b(cfg Config) (Fig5bResult, error) {
 		name = w[0]
 	}
 	g := mustModel(name)
-	opt := anneal.Options{MaxIters: cfg.saIters(), Seed: cfg.seed(), Chains: cfg.chains(), Oracle: hw.Oracle}
+	opt := cfg.search().anneal(hw)
 	sa := anneal.SA(g, hw.Engine, hw.Dataflow, opt)
 	ga := anneal.GA(g, hw.Engine, hw.Dataflow, anneal.GAOptions{Options: opt})
 	res := Fig5bResult{
@@ -192,7 +192,7 @@ func latencyThroughput(cfg Config, batch int, strategies []string, title string)
 			case "IL-Pipe":
 				rep, err = baseline.ILPipe(g, batch, pointHW)
 			case "AD":
-				rep, err = runAD(g, batch, pointHW, cfg.Mode, cfg.saIters(), cfg.seed(), cfg.chains())
+				rep, err = runAD(g, batch, pointHW, cfg.Mode, cfg.search())
 			default:
 				err = fmt.Errorf("unknown strategy %q", strat)
 			}
@@ -268,7 +268,7 @@ func Fig10(cfg Config) ([]Fig10Row, error) {
 		}
 		// T1: SA atoms, still layer-ordered, no reuse.
 		sa := anneal.SA(g, hw.Engine, hw.Dataflow,
-			anneal.Options{MaxIters: cfg.saIters(), Seed: cfg.seed(), Chains: cfg.chains(), Oracle: hw.Oracle})
+			cfg.search().anneal(hw))
 		t1, err := runLayerOrdered(g, batch, noReuse, sa.Spec, cfg)
 		if err != nil {
 			errs[i] = err
@@ -283,7 +283,7 @@ func Fig10(cfg Config) ([]Fig10Row, error) {
 		// T3: + graph-level DAG scheduling (full atomic dataflow) —
 		// flexible ordering both packs Rounds better and tightens reuse
 		// windows (atoms are consumed sooner, evicted less).
-		t3, err := runAD(g, batch, hw, cfg.Mode, cfg.saIters(), cfg.seed(), cfg.chains())
+		t3, err := runAD(g, batch, hw, cfg.Mode, cfg.search())
 		if err != nil {
 			errs[i] = err
 			return

@@ -66,7 +66,7 @@ func FPGA(cfg Config) ([]FPGARow, error) {
 		if err != nil {
 			return nil, err
 		}
-		ad, err := runAD(g, batch, hw, cfg.Mode, cfg.saIters(), cfg.seed(), cfg.chains())
+		ad, err := runAD(g, batch, hw, cfg.Mode, cfg.search())
 		if err != nil {
 			return nil, err
 		}

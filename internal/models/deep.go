@@ -1,0 +1,43 @@
+package models
+
+import "github.com/atomic-dataflow/atomicflow/internal/graph"
+
+// DeepChain is a synthetic 1000+-compute-layer workload for exercising
+// the search and scheduling paths at transformer/LLM-scale graph depth
+// (ResNet-1001 is the deepest real zoo model; this one is deeper still
+// and deliberately cheap per layer). The tensors stay small — 16x16
+// spatial, 16-48 channels — so a single SA iteration is dominated by the
+// per-layer bookkeeping the delta-evaluation refactor targets, not by
+// the cost oracle, and the full pipeline stays affordable in CI.
+//
+// Structure: repeated blocks of [conv3x3, conv1x1, residual add] with a
+// depthwise conv every 8th block and a strided stage transition every
+// 256 compute layers, ending in global pool + FC. The mix keeps the
+// candidate-list shapes heterogeneous (different cycle floors per kind)
+// so the unified-cycle search is non-trivial.
+func DeepChain() *graph.Graph {
+	b := newBuilder("deepchain1k")
+	x := b.input(16, 16, 16)
+	x = b.conv(x, 32, 3, 1, 1)
+	compute := 1
+	block := 0
+	for compute < 1024 {
+		y := b.conv(x, 32, 3, 1, 1)
+		y = b.conv(y, 32, 1, 1, 0)
+		compute += 2
+		if block%8 == 7 {
+			y = b.dwconv(y, 3, 1, 1)
+			compute++
+		}
+		x = b.add(x, y)
+		block++
+		if compute%256 < 2 && compute > 200 && b.out(x).Ho > 4 {
+			x = b.conv(x, 48, 3, 2, 1)
+			x = b.conv(x, 32, 1, 1, 0)
+			compute += 2
+		}
+	}
+	x = b.globalPool(x)
+	b.fc(x, 100)
+	return b.finish()
+}

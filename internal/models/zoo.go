@@ -37,6 +37,7 @@ var registry = map[string]Builder{
 	"tinyresnet":   TinyResNet,
 	"tinybranch":   TinyBranch,
 	"pnascell":     PNASCell,
+	"deepchain1k":  DeepChain,
 }
 
 // PaperWorkloads lists the eight models of the paper's Table I, in the

@@ -1,6 +1,6 @@
 package schedule
 
-import "sort"
+import "slices"
 
 // greedyPick selects up to N ready atoms following the paper's four
 // priority rules (Sec. IV-B):
@@ -33,24 +33,15 @@ type candidateLayer struct {
 	pos    int // topological position, for deterministic ordering
 }
 
-// pickWithPolicy is the shared selection engine.
+// pickWithPolicy is the shared selection engine. The rule-2 reference set
+// (depths of traversed-but-unfinished layers in the current sample) is
+// read from the incrementally-maintained state.activeDepth counters — the
+// DP lookahead calls this for every option at every recursion level, so
+// rebuilding the set here from the traversed map would put an O(traversed
+// pairs) walk inside the scheduler's innermost loop.
 func (st *state) pickWithPolicy(p policy) []int {
 	n := st.opt.Engines
 	pick := make([]int, 0, n)
-
-	// Depths of traversed-but-unfinished layers in the current sample
-	// (rule 2 reference set).
-	activeDepth := make(map[int]bool)
-	for k, done := range st.traversed {
-		if !done {
-			continue
-		}
-		sample := int(k >> 32)
-		layer := int(k & 0xffffffff)
-		if sample == st.curSample && st.pending[k] > 0 {
-			activeDepth[st.g.Layer(layer).Depth] = true
-		}
-	}
 
 	var cands []candidateLayer
 	for k, lst := range st.ready {
@@ -63,7 +54,7 @@ func (st *state) pickWithPolicy(p policy) []int {
 		switch {
 		case sample == st.curSample && st.traversed[k]:
 			rule = 1
-		case sample == st.curSample && activeDepth[st.g.Layer(layer).Depth]:
+		case sample == st.curSample && st.activeDepth[key(sample, st.g.Layer(layer).Depth)] > 0:
 			rule = 2
 		case sample == st.curSample:
 			rule = 3
@@ -79,15 +70,17 @@ func (st *state) pickWithPolicy(p policy) []int {
 			k: k, sample: sample, layer: layer, rule: rule, pos: st.layerPos[layer],
 		})
 	}
-	sort.Slice(cands, func(i, j int) bool {
-		a, b := cands[i], cands[j]
+	// (rule, sample, pos) is a total order — pos is unique per layer and
+	// (sample, layer) is unique per entry — so the unstable sort is
+	// deterministic.
+	slices.SortFunc(cands, func(a, b candidateLayer) int {
 		if a.rule != b.rule {
-			return a.rule < b.rule
+			return a.rule - b.rule
 		}
 		if a.sample != b.sample {
-			return a.sample < b.sample
+			return a.sample - b.sample
 		}
-		return a.pos < b.pos
+		return a.pos - b.pos
 	})
 
 	for _, c := range cands {
@@ -102,15 +95,18 @@ func (st *state) pickWithPolicy(p policy) []int {
 		}
 		lst := append([]int(nil), st.ready[c.k]...)
 		if p.longestFirst {
-			sort.Slice(lst, func(i, j int) bool {
-				ci, cj := st.cycles[lst[i]], st.cycles[lst[j]]
+			slices.SortFunc(lst, func(i, j int) int {
+				ci, cj := st.cycles[i], st.cycles[j]
 				if ci != cj {
-					return ci > cj
+					if ci > cj {
+						return -1
+					}
+					return 1
 				}
-				return lst[i] < lst[j]
+				return i - j
 			})
 		} else {
-			sort.Ints(lst)
+			slices.Sort(lst)
 		}
 		for _, id := range lst {
 			if len(pick) >= n {
@@ -161,7 +157,7 @@ func (st *state) options() [][]int {
 			continue
 		}
 		sorted := append([]int(nil), comb...)
-		sort.Ints(sorted)
+		slices.Sort(sorted)
 		s := sig(sorted)
 		if seen[s] {
 			continue

@@ -152,3 +152,45 @@ func TestFromRoundsAcceptsValid(t *testing.T) {
 		t.Errorf("round-tripped makespan %d != %d", s2.MakespanLB(), s.MakespanLB())
 	}
 }
+
+// rebuildActiveDepth recomputes the rule-2 counters from first principles.
+func (st *state) rebuildActiveDepth() map[int64]int {
+	out := make(map[int64]int)
+	for k, done := range st.traversed {
+		if done && st.pending[k] > 0 {
+			out[key(int(k>>32), st.g.Layer(int(k&0xffffffff)).Depth)]++
+		}
+	}
+	return out
+}
+
+func TestActiveDepthIncremental(t *testing.T) {
+	// Property: after any interleaving of apply/rollback — here a full DP
+	// build, whose lookahead nests them several levels deep — the
+	// incrementally-maintained activeDepth counters must equal a
+	// from-scratch rebuild at every Round boundary.
+	for _, model := range []string{"tinyresnet", "tinybranch", "pnascell"} {
+		d := dagFor(t, model, 2)
+		opt := Options{Engines: 3, Mode: DP, Lookahead: 3, MaxOptions: 5,
+			EngineCfg: engine.Default(), Dataflow: engine.KCPartition}
+		st := newState(d, opt)
+		for st.remaining > 0 {
+			comb := st.dpPick()
+			if len(comb) == 0 {
+				t.Fatalf("%s: deadlock with %d remaining", model, st.remaining)
+			}
+			st.apply(comb)
+			want := st.rebuildActiveDepth()
+			for k, v := range st.activeDepth {
+				if v != want[k] {
+					t.Fatalf("%s: activeDepth[%d] = %d, rebuild says %d", model, k, v, want[k])
+				}
+			}
+			for k, v := range want {
+				if st.activeDepth[k] != v {
+					t.Fatalf("%s: activeDepth missing %d (want %d)", model, k, v)
+				}
+			}
+		}
+	}
+}

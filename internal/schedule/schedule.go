@@ -168,6 +168,13 @@ type state struct {
 	traversed map[int64]bool
 	pending   map[int64]int
 
+	// activeDepth counts, per key(sample, depth), the traversed-but-
+	// unfinished (sample, layer) pairs at that depth — the rule-2
+	// reference set, maintained incrementally by apply/rollback so
+	// pickWithPolicy (called ~MaxOptions·Lookahead times per Round by the
+	// DP) reads it in O(1) instead of walking every traversed pair.
+	activeDepth map[int64]int
+
 	curSample   int
 	samplesLeft []int // unscheduled atom count per sample
 
@@ -185,18 +192,39 @@ type undo struct {
 
 func key(sample, layer int) int64 { return int64(sample)<<32 | int64(layer) }
 
+// pairActive reports whether a (sample, layer) pair belongs to the rule-2
+// reference set: traversed with unscheduled atoms left.
+func (st *state) pairActive(k int64) bool {
+	return st.traversed[k] && st.pending[k] > 0
+}
+
+// adjustActive reconciles the activeDepth counter after a pair's
+// (traversed, pending) transition observed as was → is.
+func (st *state) adjustActive(k int64, was, is bool) {
+	if was == is {
+		return
+	}
+	dk := key(int(k>>32), st.g.Layer(int(k&0xffffffff)).Depth)
+	if is {
+		st.activeDepth[dk]++
+	} else {
+		st.activeDepth[dk]--
+	}
+}
+
 func newState(d *atom.DAG, opt Options) *state {
 	st := &state{
-		d:         d,
-		g:         d.Graph,
-		opt:       opt,
-		cycles:    make([]int64, d.NumAtoms()),
-		indeg:     make([]int, d.NumAtoms()),
-		scheduled: make([]bool, d.NumAtoms()),
-		ready:     make(map[int64][]int),
-		traversed: make(map[int64]bool),
-		pending:   make(map[int64]int),
-		layerPos:  make([]int, d.Graph.NumLayers()),
+		d:           d,
+		g:           d.Graph,
+		opt:         opt,
+		cycles:      make([]int64, d.NumAtoms()),
+		indeg:       make([]int, d.NumAtoms()),
+		scheduled:   make([]bool, d.NumAtoms()),
+		ready:       make(map[int64][]int),
+		traversed:   make(map[int64]bool),
+		pending:     make(map[int64]int),
+		activeDepth: make(map[int64]int),
+		layerPos:    make([]int, d.Graph.NumLayers()),
 	}
 	for i, lid := range d.Graph.Topo() {
 		st.layerPos[lid] = i
@@ -254,6 +282,7 @@ func (st *state) apply(comb []int) {
 	for _, id := range comb {
 		a := st.d.Atoms[id]
 		k := key(a.Sample, a.Layer)
+		wasActive := st.pairActive(k)
 		st.scheduled[id] = true
 		st.remaining--
 		st.samplesLeft[a.Sample]--
@@ -274,6 +303,7 @@ func (st *state) apply(comb []int) {
 			st.traversed[k] = true
 			u.newTravKeys = append(u.newTravKeys, k)
 		}
+		st.adjustActive(k, wasActive, st.pairActive(k))
 		for _, c := range st.d.Consumers(id) {
 			st.indeg[c]--
 			if st.indeg[c] == 0 && !st.scheduled[c] {
@@ -311,17 +341,21 @@ func (st *state) rollback() {
 	for _, id := range u.comb {
 		a := st.d.Atoms[id]
 		k := key(a.Sample, a.Layer)
+		wasActive := st.pairActive(k)
 		st.scheduled[id] = false
 		st.remaining++
 		st.samplesLeft[a.Sample]++
 		st.pending[k]++
+		st.adjustActive(k, wasActive, st.pairActive(k))
 		for _, c := range st.d.Consumers(id) {
 			st.indeg[c]++
 		}
 		st.pushReady(id)
 	}
 	for _, k := range u.newTravKeys {
+		wasActive := st.pairActive(k)
 		delete(st.traversed, k)
+		st.adjustActive(k, wasActive, false)
 	}
 	st.totalWork += u.workDelta
 	st.curSample = u.prevSample

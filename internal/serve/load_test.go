@@ -159,3 +159,36 @@ func BenchmarkSolveColdChains(b *testing.B) {
 		resp.Body.Close()
 	}
 }
+
+// BenchmarkSolveColdDeep measures an uncached /solve over the 1026-layer
+// deepchain1k model — the transformer-depth stress case the incremental
+// (delta) move evaluation in internal/anneal targets. Every iteration
+// changes the seed so each request misses the cache and pays the full
+// search; the number this bench tracks is how cold-path latency scales
+// with graph depth.
+func BenchmarkSolveColdDeep(b *testing.B) {
+	s := New(Config{Workers: 2})
+	ts := httptest.NewServer(s.Handler())
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		_ = s.Shutdown(ctx)
+		ts.Close()
+	}()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		body := fmt.Sprintf(`{"model":"deepchain1k","sa_iters":400,"seed":%d}`, i+1)
+		resp, err := ts.Client().Post(ts.URL+"/solve", "application/json", strings.NewReader(body))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			b.Fatalf("status %d", resp.StatusCode)
+		}
+		if got := resp.Header.Get("X-Adserve-Cache"); got != "miss" {
+			b.Fatalf("request %d served %q, want a cold miss", i, got)
+		}
+		_, _ = bytes.NewBuffer(nil).ReadFrom(resp.Body)
+		resp.Body.Close()
+	}
+}

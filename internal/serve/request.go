@@ -41,6 +41,14 @@ type Request struct {
 	// the server maximum. Not part of the cache key.
 	TimeoutMS int64 `json:"timeout_ms,omitempty"`
 
+	// VerifyDelta runs the search with incremental-vs-full cross-checking
+	// enabled (see atomicflow.Options.VerifyDelta). Like TimeoutMS it is
+	// not part of the cache key: the harness never changes the solution,
+	// only how expensively it is searched, so a verified request may be
+	// answered from an unverified entry and vice versa. The server's
+	// -verify-delta flag forces it on for every request.
+	VerifyDelta bool `json:"verify_delta,omitempty"`
+
 	graph     *graph.Graph // decoded workload
 	graphHash string       // sha256 of the canonical modelio encoding
 	key       string       // full cache key, set by ParseRequest

@@ -53,6 +53,10 @@ type Config struct {
 	// that omit "chains" (default 1, the sequential search). Applied
 	// during request normalization, so it participates in the cache key.
 	DefaultChains int
+	// VerifyDelta forces incremental-vs-full search cross-checking on for
+	// every request (see atomicflow.Options.VerifyDelta). A correctness
+	// harness, not part of the cache key — it never changes solutions.
+	VerifyDelta bool
 	// MaxBodyBytes bounds the /solve request body (default 8 MiB).
 	MaxBodyBytes int64
 	// Hardware is the base accelerator model requests override (default
@@ -336,6 +340,7 @@ func (s *Server) runJob(jb *job) (*solveResult, error) {
 		SAIters:          req.SAIters,
 		Chains:           req.Chains,
 		MaxTilesPerLayer: req.MaxTiles,
+		VerifyDelta:      req.VerifyDelta || s.cfg.VerifyDelta,
 		Context:          jb.ctx,
 	}
 	if req.Mode == "greedy" {
