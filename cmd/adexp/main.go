@@ -41,6 +41,7 @@ func main() {
 		seed      = flag.Int64("seed", 1, "search seed")
 		chains    = flag.Int("chains", 1, "parallel annealing chains per search (deterministic for a fixed seed)")
 		verifyDlt = flag.Bool("verify-delta", false, "cross-check every incremental SA move against a full recomputation (correctness harness; slower)")
+		surr      = flag.Bool("surrogate", false, "filter candidate generation with the online-learned cost model (exact final cycles; search may differ slightly)")
 		dp        = flag.Bool("dp", false, "use DP scheduling everywhere (slower; Fig 10 measures it explicitly)")
 		fast      = flag.Bool("fast", false, "reduced workload set for quick runs")
 		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile to this file")
@@ -134,6 +135,7 @@ func main() {
 		Seed:        *seed,
 		Chains:      *chains,
 		VerifyDelta: *verifyDlt,
+		Surrogate:   *surr,
 		Mode:        schedule.Greedy,
 		Out:         os.Stdout,
 		Oracle:      orc,

@@ -32,6 +32,7 @@ func main() {
 		seed      = flag.Int64("seed", 1, "search seed")
 		chains    = flag.Int("chains", 1, "parallel annealing chains (deterministic for a fixed seed)")
 		verifyDlt = flag.Bool("verify-delta", false, "cross-check every incremental SA move against a full recomputation (correctness harness; slower)")
+		surr      = flag.Bool("surrogate", false, "filter candidate generation with the online-learned cost model (exact final cycles; search may differ slightly)")
 		baselines = flag.Bool("baselines", false, "also run LS, CNN-P, IL-Pipe and Rammer")
 		traceFile = flag.String("trace", "", "write a Chrome trace-event JSON of the AD execution to this file")
 		perfetto  = flag.String("perfetto", "", "write a full-span Perfetto trace (engine/NoC/DRAM lanes) to this file")
@@ -80,6 +81,7 @@ func main() {
 	opts := af.Options{
 		Batch: *batch, Hardware: &hw, Mode: schedMode,
 		SAIters: *saIters, Seed: *seed, Chains: *chains, VerifyDelta: *verifyDlt,
+		Surrogate: *surr,
 	}
 	if *traceFile != "" {
 		f, err := os.Create(*traceFile)
@@ -109,6 +111,11 @@ func main() {
 	printReport("atomic dataflow", sol.Report)
 	fmt.Printf("  atoms %d, rounds %d, atom-cycle CV %.3f, search %v\n",
 		sol.Atoms, sol.Rounds, sol.AtomCycleCV, sol.SearchTime.Round(1e6))
+	if *surr {
+		ss := sol.SurrogateStats
+		fmt.Printf("  surrogate: %d samples, %d refits, %d predictions, %d exact evals skipped, R2 %.4f, MAE %.1f\n",
+			ss.Samples, ss.Refits, ss.Predictions, ss.ExactEvalsSkipped, ss.R2, ss.MAE)
+	}
 	if *metJSON != "" {
 		f, err := os.Create(*metJSON)
 		if err != nil {

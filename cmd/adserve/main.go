@@ -36,17 +36,19 @@ func main() {
 		timeout = flag.Duration("timeout", 2*time.Minute, "per-request solve deadline")
 		chains  = flag.Int("chains", 0, "default annealing chains for requests that omit the field (0 = 1)")
 		verify  = flag.Bool("verify-delta", false, "cross-check every incremental SA move against a full recomputation on all requests (correctness harness; slower)")
+		surr    = flag.Bool("surrogate", false, "default surrogate mode for requests that omit the field (participates in the cache key)")
 		drain   = flag.Duration("drain", 30*time.Second, "graceful-shutdown drain budget on SIGINT/SIGTERM")
 	)
 	flag.Parse()
 
 	srv := serve.New(serve.Config{
-		Workers:        *workers,
-		QueueDepth:     *queue,
-		CacheEntries:   *cache,
-		RequestTimeout: *timeout,
-		DefaultChains:  *chains,
-		VerifyDelta:    *verify,
+		Workers:          *workers,
+		QueueDepth:       *queue,
+		CacheEntries:     *cache,
+		RequestTimeout:   *timeout,
+		DefaultChains:    *chains,
+		DefaultSurrogate: *surr,
+		VerifyDelta:      *verify,
 	})
 	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
 

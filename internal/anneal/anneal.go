@@ -12,6 +12,7 @@ import (
 
 	"github.com/atomic-dataflow/atomicflow/internal/atom"
 	"github.com/atomic-dataflow/atomicflow/internal/cost"
+	"github.com/atomic-dataflow/atomicflow/internal/cost/surrogate"
 	"github.com/atomic-dataflow/atomicflow/internal/engine"
 	"github.com/atomic-dataflow/atomicflow/internal/graph"
 	"github.com/atomic-dataflow/atomicflow/internal/obs"
@@ -68,6 +69,26 @@ type Options struct {
 	// single-point state to exchange) and competes only in the final
 	// reduction.
 	PortfolioGA bool
+
+	// Surrogate, when non-nil, enables the two-tier cost oracle: candidate
+	// generation scores every enumerated partition with the learned model
+	// and spends exact Evaluate calls only on the survivors (plus an
+	// exploration floor), and a post-search refinement pass re-admits
+	// deferred partitions predicted near the final unified cycle,
+	// exact-evaluating them then. Accepted states and final schedules are
+	// always priced from exactly-evaluated candidates — no surrogate
+	// number ever reaches a Result.
+	//
+	// Determinism contract: nil (the default) leaves every code path
+	// untouched, so results are bit-identical to builds without the
+	// surrogate. A fresh model still yields a deterministic search for a
+	// fixed (graph, hardware, Options) tuple — candidate generation runs
+	// sequentially in first-occurrence layer order when a surrogate is
+	// installed, so the training stream and every filter decision are
+	// scheduling-independent. A model shared across solves is
+	// history-dependent: what it learned earlier changes which candidates
+	// later solves evaluate (cycles stay exact either way).
+	Surrogate *surrogate.Model
 
 	// VerifyDelta cross-checks every incrementally-scored move against a
 	// from-scratch recomputation (full argmin rebuild + exact accumulator
@@ -376,7 +397,8 @@ func SA(g *graph.Graph, cfg engine.Config, df engine.Dataflow, opt Options) Resu
 	m := newSAMetrics(opt)
 	c := newChain(0, opt.seed(), sctx, opt)
 	c.run(sctx, opt, opt.maxIters(), m)
-	best, bestE, bestS := sctx.polish(opt, c.best, c.bestE, c.bestS)
+	best := sctx.refine(c.best, c.bestS)
+	best, bestE, bestS := sctx.polish(opt, best, c.bestE, c.bestS)
 	if n := len(c.trace); n > 0 && bestE < c.trace[n-1] {
 		c.trace = append(c.trace, bestE)
 	}
@@ -443,13 +465,27 @@ func newSearch(g *graph.Graph, cfg engine.Config, df engine.Dataflow, opt Option
 			uniqIdx = append(uniqIdx, i)
 		}
 	}
-	parallelFor(len(uniqIdx), func(k int) {
-		l := g.Layer(ids[uniqIdx[k]])
-		built[uniqIdx[k]] = layerCands{layer: l, cands: genCandidates(l, cfg, df, opt, s.orc)}
-	})
+	if opt.Surrogate != nil {
+		// Surrogate mode generates sequentially in first-occurrence order:
+		// each shape's exact evaluations train the model before the next
+		// shape is filtered, and the filter decisions become a pure
+		// function of the (graph, hardware, Options) tuple instead of a
+		// race between workers and the online fitter.
+		for k := range uniqIdx {
+			l := g.Layer(ids[uniqIdx[k]])
+			c, d := genCandidates(l, cfg, df, opt, s.orc)
+			built[uniqIdx[k]] = layerCands{layer: l, cands: c, deferred: d}
+		}
+	} else {
+		parallelFor(len(uniqIdx), func(k int) {
+			l := g.Layer(ids[uniqIdx[k]])
+			c, _ := genCandidates(l, cfg, df, opt, s.orc)
+			built[uniqIdx[k]] = layerCands{layer: l, cands: c}
+		})
+	}
 	for i, lid := range ids {
 		if j := uniq[keys[i]]; j != i {
-			built[i] = layerCands{layer: g.Layer(lid), cands: built[j].cands}
+			built[i] = layerCands{layer: g.Layer(lid), cands: built[j].cands, deferred: built[j].deferred}
 		}
 	}
 	var all []int

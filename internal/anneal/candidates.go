@@ -25,10 +25,22 @@ type candidate struct {
 	tiles  int     // atoms the partition induces on the layer
 }
 
-// layerCands holds a layer's candidate list sorted by cycles ascending.
+// deferredCand is a feasible atom size the surrogate filter priced but
+// did not spend an exact evaluation on. The refinement pass after SA
+// re-admits deferred candidates whose predicted cycles land near the
+// final unified cycle, evaluating them exactly then (see surrogate.go).
+type deferredCand struct {
+	part  atom.Partition
+	tiles int
+	pred  int64 // surrogate-predicted cycles (never reported anywhere)
+}
+
+// layerCands holds a layer's candidate list sorted by cycles ascending,
+// plus (in surrogate mode) the enumerated-but-unevaluated remainder.
 type layerCands struct {
-	layer *graph.Layer
-	cands []candidate
+	layer    *graph.Layer
+	cands    []candidate
+	deferred []deferredCand
 }
 
 // pick returns the index of the best candidate for a target cycle count:
@@ -92,7 +104,14 @@ func absDiff(a, b int64) int64 {
 // candidates whose working set cannot fit in the usable buffer fraction
 // are discarded, and tile counts are capped to keep the atomic DAG
 // tractable.
-func genCandidates(l *graph.Layer, cfg engine.Config, df engine.Dataflow, opt Options, orc cost.Oracle) []candidate {
+//
+// With Options.Surrogate installed and ready, feasible partitions are
+// first priced by the learned model and exact Evaluate calls are spent
+// only on the selected survivors; the remainder comes back as the
+// deferred list for the post-search refinement pass. Without a surrogate
+// (or before it is ready) every feasible partition is evaluated exactly
+// and deferred is nil.
+func genCandidates(l *graph.Layer, cfg engine.Config, df engine.Dataflow, opt Options, orc cost.Oracle) ([]candidate, []deferredCand) {
 	s := l.Shape
 	var hs, ws, cs []int
 	// Channel extents always quantize to at least the column width even
@@ -130,7 +149,7 @@ func genCandidates(l *graph.Layer, cfg engine.Config, df engine.Dataflow, opt Op
 	// slices are cached opportunistically by the buffer manager when room
 	// remains (Algorithm 3 treats them as evictable entries).
 	weightWindow := int64(4 * cfg.PEx * cfg.PEy * s.Kh * s.Kw)
-	var cands []candidate
+	var pend []pendingCand
 	for _, hp := range hs {
 		for _, wp := range ws {
 			for _, cp := range cs {
@@ -151,11 +170,11 @@ func genCandidates(l *graph.Layer, cfg engine.Config, df engine.Dataflow, opt Op
 				if inputWindow(t)+t.OutputBytes()+w > budget {
 					continue
 				}
-				c := orc.Evaluate(cfg, df, t)
-				cands = append(cands, candidate{part: p, cycles: c.Cycles, util: c.Utilization, tiles: tiles})
+				pend = append(pend, pendingCand{part: p, task: t, tiles: tiles})
 			}
 		}
 	}
+	cands, deferred := evaluatePending(pend, cfg, df, opt, orc)
 	// Prefer atoms whose weight slice can actually be cached in an
 	// engine's buffer (Algorithm 3 stores weights opportunistically, but
 	// a slice above ~3/4 of the buffer always streams from DRAM and is
@@ -210,7 +229,7 @@ func genCandidates(l *graph.Layer, cfg engine.Config, df engine.Dataflow, opt Op
 		cands = append(cands, candidate{part: p, cycles: c.Cycles, util: c.Utilization, tiles: p.Tiles(l)})
 	}
 	sort.Slice(cands, func(i, j int) bool { return cands[i].cycles < cands[j].cycles })
-	return cands
+	return cands, deferred
 }
 
 // splitSizes enumerates tile extents for a dimension of size n, quantized

@@ -178,6 +178,7 @@ func portfolioSA(g *graph.Graph, cfg engine.Config, df engine.Dataflow, opt Opti
 		trace, iters, temp = ga.trace, ga.gens, 0
 	}
 
+	best = sctx.refine(best, bestS)
 	best, bestE, bestS = sctx.polish(opt, best, bestE, bestS)
 	if n := len(trace); n > 0 && bestE < trace[n-1] {
 		trace = append(trace, bestE)

@@ -1,0 +1,332 @@
+package anneal
+
+import (
+	"sort"
+
+	"github.com/atomic-dataflow/atomicflow/internal/atom"
+	"github.com/atomic-dataflow/atomicflow/internal/cost"
+	"github.com/atomic-dataflow/atomicflow/internal/engine"
+	"github.com/atomic-dataflow/atomicflow/internal/graph"
+)
+
+// This file is the annealer side of the two-tier cost oracle
+// (internal/cost/surrogate): the survivor selection that decides which
+// enumerated partitions get an exact engine evaluation, and the
+// post-search refinement pass that re-admits deferred partitions near
+// the final unified cycle. Both run only when Options.Surrogate is set;
+// the default path never touches them.
+
+const (
+	// surrogateMinPend gates filtering: below this many feasible
+	// partitions the survivor floor would keep almost everything anyway.
+	surrogateMinPend = 48
+	// surrogateKeepCap bounds the exact evaluations spent per filtered
+	// list: when more partitions pass the predicted cuts, evenly spaced
+	// ranks of their predicted-cycles order survive, so the list keeps
+	// its full dynamic range at bounded cost.
+	surrogateKeepCap = 128
+	// surrogateUtilMargin loosens the pipeline's 0.6*maxU utilization
+	// cut when it is applied to predictions instead of exact costs —
+	// borderline partitions get an exact evaluation rather than being
+	// dropped on a slightly-off prediction.
+	surrogateUtilMargin = 0.55
+	// surrogateExplore is the exploration floor: every N-th partition in
+	// enumeration order survives regardless of its prediction, bounding
+	// the damage of a locally-wrong model.
+	surrogateExplore = 16
+	// surrogateProbeRelMAE bounds the model's mean relative error on the
+	// exploration floor before the rest of the list may be filtered. The
+	// global readiness gates are backward-looking; this probe checks the
+	// model against the distribution of THIS list, catching extrapolation
+	// to shapes unlike anything in the training stream.
+	surrogateProbeRelMAE = 0.02
+	// surrogateRefine caps the deferred partitions re-admitted per
+	// candidate list by the post-search refinement pass.
+	surrogateRefine = 8
+)
+
+// pendingCand is one feasible partition awaiting pricing.
+type pendingCand struct {
+	part  atom.Partition
+	task  engine.Task
+	tiles int
+}
+
+// evaluatePending prices a layer's feasible partitions. Exact path (no
+// surrogate, model not ready, or too few partitions to be worth
+// filtering): every partition is evaluated, deferred is nil — byte-for-
+// byte the candidate list the pre-surrogate code built. Filtered path:
+// the snapshot predicts all partitions, survivors are exactly evaluated
+// and the rest are returned as deferred with their predicted cycles.
+func evaluatePending(pend []pendingCand, cfg engine.Config, df engine.Dataflow, opt Options, orc cost.Oracle) ([]candidate, []deferredCand) {
+	if model := opt.Surrogate; model != nil && len(pend) >= surrogateMinPend {
+		if sn := model.Snapshot(); sn != nil {
+			preds := make([]float64, len(pend))
+			allOK := true
+			for i := range pend {
+				p, ok := sn.Predict(cfg, df, pend[i].task)
+				if !ok {
+					allOK = false
+					break
+				}
+				preds[i] = p
+			}
+			if allOK && probeAgrees(pend, preds, cfg, df, orc) {
+				keep := surrogateSurvivors(pend, preds, cfg)
+				var cands []candidate
+				var deferred []deferredCand
+				for i := range pend {
+					if keep[i] {
+						c := orc.Evaluate(cfg, df, pend[i].task)
+						cands = append(cands, candidate{part: pend[i].part,
+							cycles: c.Cycles, util: c.Utilization, tiles: pend[i].tiles})
+					} else {
+						deferred = append(deferred, deferredCand{part: pend[i].part,
+							tiles: pend[i].tiles, pred: int64(preds[i])})
+					}
+				}
+				model.FilterObserved(len(cands), len(deferred))
+				return cands, deferred
+			}
+		}
+	}
+	var cands []candidate
+	for i := range pend {
+		c := orc.Evaluate(cfg, df, pend[i].task)
+		cands = append(cands, candidate{part: pend[i].part,
+			cycles: c.Cycles, util: c.Utilization, tiles: pend[i].tiles})
+	}
+	return cands, nil
+}
+
+// probeAgrees exact-evaluates the exploration floor (every
+// surrogateExplore-th partition — survivors either way) and reports
+// whether the predictions match those evaluations to within
+// surrogateProbeRelMAE mean relative error. The floor evaluations are
+// memoized, so on agreement the main survivor loop re-reads them as
+// cache hits, and on disagreement the full exact pass wastes nothing.
+func probeAgrees(pend []pendingCand, preds []float64, cfg engine.Config, df engine.Dataflow, orc cost.Oracle) bool {
+	relSum := 0.0
+	n := 0
+	for i := 0; i < len(pend); i += surrogateExplore {
+		c := orc.Evaluate(cfg, df, pend[i].task)
+		y := float64(c.Cycles)
+		if y < 1 {
+			y = 1
+		}
+		e := preds[i] - y
+		if e < 0 {
+			e = -e
+		}
+		relSum += e / y
+		n++
+	}
+	return relSum/float64(n) <= surrogateProbeRelMAE
+}
+
+// surrogateSurvivors marks which pending partitions get exact
+// evaluations by emulating, on predictions, the two cuts genCandidates
+// applies after exact evaluation: the weight-cacheability preference
+// (pure arithmetic — no prediction needed) and the utilization floor
+// (predicted work-per-cycle, with a margin for model error). Partitions
+// those cuts would discard are exactly the ones an evaluation would be
+// wasted on. When more partitions pass than the per-list cap, evenly
+// spaced ranks of their predicted-cycles order survive, keeping the full
+// dynamic range the pick tables need at bounded cost. An every-N-th
+// enumeration-order floor survives regardless, bounding the damage of a
+// locally-wrong model. Deterministic: stable sorts, ties break on
+// enumeration index.
+func surrogateSurvivors(pend []pendingCand, preds []float64, cfg engine.Config) []bool {
+	n := len(pend)
+	keep := make([]bool, n)
+	// Cacheability preference: when any partition's weight slice fits in
+	// 3/4 of the buffer, the pipeline drops every one that does not.
+	anyCacheable := false
+	for i := range pend {
+		if cacheableWeight(pend[i].task, cfg) {
+			anyCacheable = true
+			break
+		}
+	}
+	// Utilization floor over the eligible set: work per predicted cycle
+	// is proportional to utilization (the constant PE-count denominator
+	// cancels in the ratio test).
+	util := make([]float64, n)
+	maxu := 0.0
+	for i := range pend {
+		util[i] = float64(pend[i].task.MACs()) / preds[i] // preds clamped >= 1
+		if util[i] > maxu && (!anyCacheable || cacheableWeight(pend[i].task, cfg)) {
+			maxu = util[i]
+		}
+	}
+	var idx []int
+	for i := range pend {
+		if anyCacheable && !cacheableWeight(pend[i].task, cfg) {
+			continue
+		}
+		if util[i] >= surrogateUtilMargin*maxu {
+			idx = append(idx, i)
+		}
+	}
+	if len(idx) <= surrogateKeepCap {
+		for _, i := range idx {
+			keep[i] = true
+		}
+	} else {
+		sort.SliceStable(idx, func(a, b int) bool { return preds[idx[a]] < preds[idx[b]] })
+		for k := 0; k < surrogateKeepCap; k++ {
+			keep[idx[k*(len(idx)-1)/(surrogateKeepCap-1)]] = true
+		}
+	}
+	for i := 0; i < n; i += surrogateExplore {
+		keep[i] = true
+	}
+	return keep
+}
+
+// cacheableWeight reports whether the task's weight slice fits the
+// opportunistic cache budget (3/4 of the engine buffer) — the same rule
+// genCandidates and refine apply. Task.Ci is already 1 for depthwise, so
+// the product matches the pipeline's per-kind formulas.
+func cacheableWeight(t engine.Task, cfg engine.Config) bool {
+	wb := int64(t.Ci) * int64(t.Cop) * int64(t.Kh) * int64(t.Kw)
+	return wb <= int64(cfg.BufferBytes)*3/4
+}
+
+// refine is the second tier's closing step: after the search has settled
+// on a unified cycle, deferred partitions whose predicted cycles land
+// within ±30% of it are exact-evaluated (at most surrogateRefine per
+// candidate list, closest predictions first) and merged into the
+// candidate lists under the same cacheability and utilization rules
+// genCandidates applies. The returned state is best with its choice
+// indices remapped onto the merged lists — the chosen candidates and
+// their cycles are untouched, so the accumulators (and hence bestE and
+// bestS) remain exact. The caller's polish sweep then runs over the
+// enriched lists and harvests any improvement. No-op without a
+// surrogate or when nothing was deferred near the target.
+func (s *search) refine(best state, targetS float64) state {
+	if s.opt.Surrogate == nil || !(targetS > 0) {
+		return best
+	}
+	// Group layers by candidate-slice identity: shape-identical layers
+	// share one cands/deferred pair (see newSearch) and must keep sharing
+	// after the merge. First-occurrence order keeps the pass
+	// deterministic (and the oracle memoizes, so shared lists cost one
+	// evaluation set regardless of the sharing degree).
+	type gkey struct {
+		c  *candidate
+		co int
+	}
+	groups := make(map[gkey][]int)
+	var order []gkey
+	for i := range s.all {
+		lc := s.lcAt[i]
+		if len(lc.cands) == 0 || len(lc.deferred) == 0 {
+			continue
+		}
+		k := gkey{&lc.cands[0], lc.layer.Shape.Co}
+		if _, ok := groups[k]; !ok {
+			order = append(order, k)
+		}
+		groups[k] = append(groups[k], i)
+	}
+	if len(order) == 0 {
+		return best
+	}
+	target := targetOf(targetS)
+	lo, hi := target-3*(target/10), target+3*(target/10)
+	changed := false
+	for _, gk := range order {
+		layers := groups[gk]
+		lc := s.lcAt[layers[0]]
+		var near []deferredCand
+		for _, d := range lc.deferred {
+			if d.pred >= lo && d.pred <= hi {
+				near = append(near, d)
+			}
+		}
+		if len(near) == 0 {
+			continue
+		}
+		sort.SliceStable(near, func(a, b int) bool {
+			return absDiff(near[a].pred, target) < absDiff(near[b].pred, target)
+		})
+		if len(near) > surrogateRefine {
+			near = near[:surrogateRefine]
+		}
+		sh := lc.layer.Shape
+		maxU := 0.0
+		for _, c := range lc.cands {
+			if c.util > maxU {
+				maxU = c.util
+			}
+		}
+		limit := int64(s.cfg.BufferBytes) * 3 / 4
+		var admitted []candidate
+		for _, d := range near {
+			wb := int64(sh.Ci) * int64(d.part.Cop) * int64(sh.Kh) * int64(sh.Kw)
+			if lc.layer.Kind == graph.OpDepthwiseConv {
+				wb = int64(d.part.Cop) * int64(sh.Kh) * int64(sh.Kw)
+			}
+			if wb > limit {
+				continue
+			}
+			t := engine.Task{Kind: lc.layer.Kind, Hp: d.part.Hp, Wp: d.part.Wp,
+				Ci: sh.Ci, Cop: d.part.Cop, Kh: sh.Kh, Kw: sh.Kw, Stride: sh.Stride}
+			if lc.layer.Kind == graph.OpDepthwiseConv {
+				t.Ci = 1
+			}
+			c := s.orc.Evaluate(s.cfg, s.df, t)
+			if c.Utilization < 0.6*maxU {
+				continue
+			}
+			admitted = append(admitted, candidate{part: d.part,
+				cycles: c.Cycles, util: c.Utilization, tiles: d.tiles})
+		}
+		if len(admitted) == 0 {
+			continue
+		}
+		// Merge with a stable sort, tracking where each old index lands so
+		// the chosen candidates keep their identity.
+		merged := make([]candidate, 0, len(lc.cands)+len(admitted))
+		merged = append(merged, lc.cands...)
+		merged = append(merged, admitted...)
+		pos := make([]int, len(merged))
+		for i := range pos {
+			pos[i] = i
+		}
+		sort.SliceStable(pos, func(a, b int) bool { return merged[pos[a]].cycles < merged[pos[b]].cycles })
+		sorted := make([]candidate, len(merged))
+		remap := make([]int, len(lc.cands))
+		for newIdx, oldIdx := range pos {
+			sorted[newIdx] = merged[oldIdx]
+			if oldIdx < len(lc.cands) {
+				remap[oldIdx] = newIdx
+			}
+		}
+		admittedParts := make(map[atom.Partition]bool, len(admitted))
+		for _, a := range admitted {
+			admittedParts[a.part] = true
+		}
+		var remaining []deferredCand
+		for _, d := range lc.deferred {
+			if !admittedParts[d.part] {
+				remaining = append(remaining, d)
+			}
+		}
+		for _, i := range layers {
+			nlc := s.lcAt[i]
+			nlc.cands, nlc.deferred = sorted, remaining
+			s.lcAt[i] = nlc
+			s.cands[s.all[i]] = nlc
+			best.choice[i] = remap[best.choice[i]]
+		}
+		changed = true
+	}
+	if changed {
+		// The pick boundaries moved with the candidate lists; one rebuild
+		// re-indexes the walkers the polish sweep is about to create.
+		s.buildDeltaIndex()
+	}
+	return best
+}

@@ -1,0 +1,166 @@
+package anneal
+
+import (
+	"testing"
+
+	"github.com/atomic-dataflow/atomicflow/internal/atom"
+	"github.com/atomic-dataflow/atomicflow/internal/cost"
+	"github.com/atomic-dataflow/atomicflow/internal/cost/surrogate"
+	"github.com/atomic-dataflow/atomicflow/internal/engine"
+	"github.com/atomic-dataflow/atomicflow/internal/graph"
+	"github.com/atomic-dataflow/atomicflow/internal/models"
+)
+
+// surrogateSolve runs one cold SA solve with a fresh memo and a fresh
+// surrogate model wired the way Orchestrate wires them, returning the
+// result plus the oracle and model stats.
+func surrogateSolve(g *graph.Graph, seed int64) (Result, cost.Stats, surrogate.Stats) {
+	m := surrogate.New()
+	orc := cost.NewMemo(cost.Direct{})
+	cost.AttachSampler(orc, m)
+	res := SA(g, engine.Default(), engine.KCPartition,
+		Options{MaxIters: 200, Seed: seed, Oracle: orc, Surrogate: m})
+	return res, orc.Stats(), m.Stats()
+}
+
+// TestSurrogateMissReduction is the headline perf property: on a cold
+// solve of a many-unique-shape workload, surrogate-filtered candidate
+// generation must cut exact engine evaluations (memo misses) by at least
+// 40% versus the unfiltered search.
+func TestSurrogateMissReduction(t *testing.T) {
+	g := models.MustBuild("resnet50")
+
+	exact := cost.NewMemo(cost.Direct{})
+	SA(g, engine.Default(), engine.KCPartition,
+		Options{MaxIters: 200, Seed: 1, Oracle: exact})
+	base := exact.Stats()
+	if base.Misses == 0 {
+		t.Fatal("baseline solve issued no evaluations")
+	}
+
+	_, filt, ss := surrogateSolve(g, 1)
+	t.Logf("misses: exact %d -> surrogate %d (%.1f%% cut); model: %+v",
+		base.Misses, filt.Misses,
+		100*(1-float64(filt.Misses)/float64(base.Misses)), ss)
+	if ss.FilterCalls == 0 {
+		t.Fatal("surrogate filter never engaged on resnet50")
+	}
+	if ss.ExactEvalsSkipped == 0 {
+		t.Fatal("surrogate skipped no exact evaluations")
+	}
+	if filt.Misses > base.Misses*6/10 {
+		t.Errorf("surrogate misses = %d, want <= 60%% of exact %d",
+			filt.Misses, base.Misses)
+	}
+}
+
+// TestSurrogateDeterministic pins the run-to-run contract: a fresh model
+// per solve trains on an identical evaluation stream (sequential
+// first-occurrence candidate generation), so two solves are identical.
+func TestSurrogateDeterministic(t *testing.T) {
+	g := models.MustBuild("resnet50")
+	a, astat, _ := surrogateSolve(g, 42)
+	b, bstat, _ := surrogateSolve(g, 42)
+	if a.FinalVar != b.FinalVar || a.Iters != b.Iters || a.MeanCycle != b.MeanCycle {
+		t.Errorf("same seed diverged under surrogate: var %v/%v iters %v/%v S %v/%v",
+			a.FinalVar, b.FinalVar, a.Iters, b.Iters, a.MeanCycle, b.MeanCycle)
+	}
+	for lid, p := range a.Spec {
+		if b.Spec[lid] != p {
+			t.Errorf("layer %d spec differs: %+v vs %+v", lid, p, b.Spec[lid])
+		}
+	}
+	if astat.Misses != bstat.Misses || astat.Evaluations != bstat.Evaluations {
+		t.Errorf("evaluation streams differ: %+v vs %+v", astat, bstat)
+	}
+}
+
+// TestSurrogateSolutionQuality bounds the accuracy cost of filtering: the
+// filtered search's unified cycle S must stay within 2% of the exact
+// search's on the same seed, and the spec must still build a valid DAG.
+func TestSurrogateSolutionQuality(t *testing.T) {
+	g := models.MustBuild("resnet50")
+	exact := SA(g, engine.Default(), engine.KCPartition,
+		Options{MaxIters: 200, Seed: 1})
+	filt, _, _ := surrogateSolve(g, 1)
+	// One-sided: the refinement pass sometimes beats the exact search;
+	// only a regression is a failure.
+	if rel := (filt.MeanCycle - exact.MeanCycle) / exact.MeanCycle; rel > 0.02 {
+		t.Errorf("surrogate S %.1f vs exact %.1f (%.2f%% worse), want within 2%%",
+			filt.MeanCycle, exact.MeanCycle, 100*rel)
+	}
+	if _, err := atom.Build(g, 2, filt.Spec); err != nil {
+		t.Errorf("Build with surrogate spec: %v", err)
+	}
+}
+
+// TestSurrogateColdModelFallsBack: with coarse splitting every
+// candidate list stays below the filter's minimum-size gate, so the
+// filter must stay out of the way and the result must be bit-identical
+// to the exact search.
+func TestSurrogateColdModelFallsBack(t *testing.T) {
+	g := models.MustBuild("tinyconv")
+	exact := SA(g, engine.Default(), engine.KCPartition,
+		Options{MaxIters: 100, Seed: 7, MaxSplits: 3})
+	m := surrogate.New()
+	orc := cost.NewMemo(cost.Direct{})
+	cost.AttachSampler(orc, m)
+	filt := SA(g, engine.Default(), engine.KCPartition,
+		Options{MaxIters: 100, Seed: 7, MaxSplits: 3, Oracle: orc, Surrogate: m})
+	ss := m.Stats()
+	if ss.ExactEvalsSkipped != 0 {
+		t.Fatalf("filter engaged below the list-size gate: %+v", ss)
+	}
+	if exact.FinalVar != filt.FinalVar || exact.MeanCycle != filt.MeanCycle {
+		t.Errorf("unengaged surrogate changed the result: S %v vs %v",
+			filt.MeanCycle, exact.MeanCycle)
+	}
+	for lid, p := range exact.Spec {
+		if filt.Spec[lid] != p {
+			t.Errorf("layer %d spec differs: %+v vs %+v", lid, p, filt.Spec[lid])
+		}
+	}
+}
+
+// TestSurrogateCandidateListInvariants re-runs a filtered solve and
+// checks the structural invariants move scoring depends on: per-layer
+// candidate lists sorted by cycles, de-duplicated, and every deferred
+// candidate admitted by refine carrying its exact (not predicted) cost.
+func TestSurrogateCandidateListInvariants(t *testing.T) {
+	g := models.MustBuild("resnet50")
+	m := surrogate.New()
+	orc := cost.NewMemo(cost.Direct{})
+	cost.AttachSampler(orc, m)
+	cfg := engine.Default()
+	s := newSearch(g, cfg, engine.KCPartition,
+		Options{MaxIters: 200, Seed: 1, Oracle: orc, Surrogate: m})
+	if m.Stats().ExactEvalsSkipped == 0 {
+		t.Fatal("filter never engaged; invariants below would be vacuous")
+	}
+	for i, lc := range s.lcAt {
+		cands := lc.cands
+		if len(cands) == 0 {
+			t.Fatalf("layer slot %d: empty candidate list", i)
+		}
+		for j := 1; j < len(cands); j++ {
+			if cands[j].cycles < cands[j-1].cycles {
+				t.Errorf("layer slot %d: candidates unsorted at %d (%d < %d)",
+					i, j, cands[j].cycles, cands[j-1].cycles)
+			}
+		}
+		// Every admitted candidate carries the exact engine cost, never a
+		// surrogate prediction — the ALWAYS-rescore-exactly invariant.
+		sh := lc.layer.Shape
+		for j, c := range cands {
+			task := engine.Task{Kind: lc.layer.Kind, Hp: c.part.Hp, Wp: c.part.Wp,
+				Ci: sh.Ci, Cop: c.part.Cop, Kh: sh.Kh, Kw: sh.Kw, Stride: sh.Stride}
+			if lc.layer.Kind == graph.OpDepthwiseConv {
+				task.Ci = 1
+			}
+			if want := engine.Evaluate(cfg, engine.KCPartition, task).Cycles; c.cycles != want {
+				t.Errorf("layer slot %d cand %d: stored cycles %d != exact %d",
+					i, j, c.cycles, want)
+			}
+		}
+	}
+}

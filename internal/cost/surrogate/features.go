@@ -1,0 +1,169 @@
+package surrogate
+
+import (
+	"math"
+
+	"github.com/atomic-dataflow/atomicflow/internal/engine"
+	"github.com/atomic-dataflow/atomicflow/internal/graph"
+)
+
+// NumFeatures is the length of the engineered feature vector. The features
+// mirror the multiplicative structure of the closed-form engine model
+// (pass counts x per-pass work under each dataflow, fill/drain charges,
+// vector-lane occupancy) plus the quantization remainders and byte
+// footprints that distinguish well- and badly-shaped tiles — so a linear
+// model over them can reproduce the engine almost exactly, and a future
+// non-linear upgrade (gradient-boosted stumps) has informative splits.
+const NumFeatures = 15
+
+// Feature vector layout (all float64, always finite):
+//
+//	 0  bias (1)
+//	 1  KC-P work:      passes_KC * per-pass inner loop
+//	 2  KC-P fill/drain: passes_KC * (PEx + PEy)
+//	 3  YX-P work:      passes_YX * per-pass inner loop
+//	 4  YX-P fill/drain: passes_YX * (PEx + PEy)
+//	 5  Flex-P work:    passes_Flex * per-pass inner loop
+//	 6  Flex-P fill/drain: passes_Flex * (PEx + PEy)
+//	 7  vector-unit cycles: ceil(elements / VectorLanes)
+//	 8  Hp mod PEx      (spatial row quantization remainder)
+//	 9  Cop mod PEy     (output-channel column quantization remainder)
+//	10  Ci mod PEx      (input-channel row quantization remainder)
+//	11  input bytes
+//	12  weight bytes
+//	13  output bytes
+//	14  kernel area Kh*Kw
+//
+// Pass/inner terms are computed per operator class (dense conv/FC,
+// depthwise, vector) exactly as the engine's loop nests count them, so
+// within one (class, dataflow) segment the true cycle function is linear
+// in this vector. Replicas are normalized out: features describe one
+// replica and Predict scales by the replica count, matching the engine's
+// exact cycles*reps factorization.
+
+// numSegments is the segmented-model count: 3 operator classes x 3
+// dataflows. Segmentation is equivalent to a dataflow/class one-hot fully
+// interacted with every feature, but keeps each fit tiny and exact.
+const numSegments = 9
+
+// classOf buckets operator kinds by which engine loop nest prices them.
+func classOf(kind graph.OpKind) int {
+	switch kind {
+	case graph.OpConv, graph.OpFC:
+		return 0
+	case graph.OpDepthwiseConv:
+		return 1
+	default:
+		return 2 // vector unit (pool/eltwise/activation/global-pool/unknown)
+	}
+}
+
+// segmentOf maps an evaluation onto its model segment. Dataflows outside
+// the known range clamp to Flex so the function is total.
+func segmentOf(kind graph.OpKind, df engine.Dataflow) int {
+	d := int(df)
+	if d < 0 {
+		d = 0
+	}
+	if d > 2 {
+		d = 2
+	}
+	return classOf(kind)*3 + d
+}
+
+// posF clamps a dimension to >= 1 as a float64, keeping feature
+// extraction total over arbitrary (even degenerate) task fields.
+func posF(v int) float64 {
+	if v < 1 {
+		return 1
+	}
+	return float64(v)
+}
+
+// cdivF is ceil(a/b) in float64 (b already clamped positive).
+func cdivF(a, b float64) float64 { return math.Ceil(a / b) }
+
+// features fills x with the engineered vector for one evaluation,
+// normalized to a single replica. It never panics and always produces
+// finite values: dimensions are clamped to >= 1 and all arithmetic is
+// float64, so hostile or degenerate tasks (fuzzed inputs) degrade to
+// garbage-but-finite features instead of overflow or division by zero.
+func features(cfg engine.Config, df engine.Dataflow, t engine.Task, x *[NumFeatures]float64) {
+	pex, pey := posF(cfg.PEx), posF(cfg.PEy)
+	pez := posF(cfg.PEzOf())
+	macs := posF(cfg.MACsPerPE)
+	lanes := posF(cfg.VectorLanes)
+	hp, wp := posF(t.Hp), posF(t.Wp)
+	ci, cop := posF(t.Ci), posF(t.Cop)
+	kh, kw := posF(t.Kh), posF(t.Kw)
+	fd := pex + pey // the engine's per-pass fill/drain charge
+
+	*x = [NumFeatures]float64{}
+	x[0] = 1
+	switch classOf(t.Kind) {
+	case 0: // dense conv / FC
+		passKC := cdivF(ci, pex) * cdivF(cop, pey)
+		x[1] = passKC * math.Floor(hp*wp*kh*kw/macs)
+		x[2] = passKC * fd
+		passYX := cdivF(hp, pex) * cdivF(wp, pey)
+		x[3] = passYX * math.Floor(ci*cop*kh*kw/macs)
+		x[4] = passYX * fd
+		passFx := cdivF(ci, pex) * cdivF(cop, pey) * cdivF(wp, pez)
+		x[5] = passFx * math.Floor(hp*kh*kw/macs)
+		x[6] = passFx * fd
+	case 1: // depthwise: kernel window on the rows, no Ci factor
+		passKC := cdivF(kh*kw, pex) * cdivF(cop, pey)
+		x[1] = passKC * math.Floor(hp*wp/macs)
+		x[2] = passKC * fd
+		passYX := cdivF(hp, pex) * cdivF(wp, pey)
+		x[3] = passYX * math.Floor(cop*kh*kw/macs)
+		x[4] = passYX * fd
+		passFx := cdivF(kh*kw, pex) * cdivF(cop, pey) * cdivF(wp, pez)
+		x[5] = passFx * math.Floor(hp/macs)
+		x[6] = passFx * fd
+	default: // vector unit
+		elems := hp * wp * cop
+		if t.Kind == graph.OpPool || t.Kind == graph.OpGlobalPool {
+			elems *= kh * kw
+		}
+		x[7] = math.Ceil(elems / lanes)
+	}
+	x[8] = math.Mod(hp, pex)
+	x[9] = math.Mod(cop, pey)
+	x[10] = math.Mod(ci, pex)
+	// Byte footprints, recomputed in floats (the Task methods use int64
+	// arithmetic that can overflow on fuzzed extents).
+	stride := posF(t.Stride)
+	hi := (hp-1)*stride + kh
+	wi := (wp-1)*stride + kw
+	switch t.Kind {
+	case graph.OpEltwise:
+		x[11] = 2 * hp * wp * cop
+	case graph.OpDepthwiseConv:
+		x[11] = hi * wi * cop
+	default:
+		x[11] = hi * wi * ci
+	}
+	switch t.Kind {
+	case graph.OpConv, graph.OpFC:
+		x[12] = ci * cop * kh * kw
+	case graph.OpDepthwiseConv:
+		x[12] = cop * kh * kw
+	}
+	x[13] = hp * wp * cop
+	x[14] = kh * kw
+
+	for i := range x {
+		if math.IsNaN(x[i]) || math.IsInf(x[i], 0) {
+			x[i] = 0
+		}
+	}
+}
+
+// Features returns the engineered vector for one evaluation — exposed for
+// tests and the feature-extraction fuzz target.
+func Features(cfg engine.Config, df engine.Dataflow, t engine.Task) [NumFeatures]float64 {
+	var x [NumFeatures]float64
+	features(cfg, df, t, &x)
+	return x
+}

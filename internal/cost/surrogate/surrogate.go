@@ -1,0 +1,418 @@
+// Package surrogate is the learned first tier of the two-tier cost
+// oracle: a pure-Go, online-fitted ridge regression that predicts
+// engine.Evaluate cycles from engineered atom features (see features.go).
+//
+// The model trains passively from the evaluation stream the memoizing
+// oracle already sees — cost.Memo feeds every cache miss through a
+// Sampler hook — and is consulted by the annealer's candidate generation
+// as a cheap filter: all enumerated partitions are scored by the
+// surrogate, and exact evaluation is spent only on the survivors (plus an
+// exploration floor). Accepted states and final schedules are always
+// re-scored exactly, so no surrogate number ever reaches a Report.
+//
+// The fit is segmented by (operator class x dataflow): within one segment
+// the engine's closed-form cycle count is linear in the feature vector,
+// so a tiny ridge system per segment reproduces it near-exactly —
+// segmentation is the one-hot x full-interaction encoding the issue's
+// single-model formulation would need, with 9 independent 15x15 solves
+// instead of one ill-conditioned 135-feature system. A segment only
+// participates in filtering once its prequential (predict-then-train)
+// R-squared clears a readiness bar, so a cold or badly-fit model degrades
+// to the exact path, never to wrong filtering.
+//
+// A non-linear upgrade (e.g. gradient-boosted stumps over the same
+// features) can replace the per-segment fitter behind the same
+// Sample/Snapshot/Predict surface.
+package surrogate
+
+import (
+	"math"
+	"sync"
+	"sync/atomic"
+
+	"github.com/atomic-dataflow/atomicflow/internal/engine"
+	"github.com/atomic-dataflow/atomicflow/internal/graph"
+	"github.com/atomic-dataflow/atomicflow/internal/obs"
+)
+
+const (
+	// minSamples is the per-segment sample count before the first fit.
+	minSamples = 48
+	// refitEvery batches subsequent refits: the Gram matrix absorbs every
+	// sample immediately, the solve is amortized.
+	refitEvery = 64
+	// readyMinPreds is the shadow-prediction count a fitted segment must
+	// accumulate before its accuracy estimate is trusted. Small workloads
+	// can produce a lucky first window right after the initial fit; 64
+	// shadow predictions make the estimate honest before any filtering.
+	readyMinPreds = 64
+	// readyR2 is the prequential R-squared bar for filtering.
+	readyR2 = 0.95
+	// readyRelMAE is the prequential mean relative error bar. R-squared is
+	// dominated by the largest tasks; on workloads whose tasks are a few
+	// hundred cycles, a model can score R-squared 0.99 while still
+	// misranking candidates by 10% — relative error catches that.
+	readyRelMAE = 0.02
+)
+
+// segment is one (operator class, dataflow) ridge system plus its online
+// accuracy bookkeeping. All fields are guarded by mu.
+type segment struct {
+	mu sync.Mutex
+
+	// Normal equations, accumulated online: A += x xᵀ, b += y x.
+	n       int64
+	a       [NumFeatures][NumFeatures]float64
+	b       [NumFeatures]float64
+	lastFit int64
+
+	fitted bool
+	w      [NumFeatures]float64
+
+	// Prequential accuracy: every post-fit sample is first predicted with
+	// the frozen weights, then absorbed — an honest out-of-sample error
+	// estimate with zero extra evaluations (Welford mean/M2 give the
+	// variance for R-squared).
+	predN  int64
+	absErr float64
+	relErr float64
+	sqErr  float64
+	meanY  float64
+	m2Y    float64
+	ready  bool
+}
+
+// r2Locked returns the prequential R-squared (call with mu held).
+func (s *segment) r2Locked() float64 {
+	if s.predN < 2 || s.m2Y <= 0 {
+		return 0
+	}
+	return 1 - s.sqErr/s.m2Y
+}
+
+// refitLocked solves the ridge system (call with mu held). The
+// regularizer scales with the Gram trace so feature magnitude (byte
+// counts vs remainders) does not pick the effective lambda; on a
+// non-positive-definite system the lambda is escalated, and if it still
+// fails the segment simply stays on its previous weights.
+func (s *segment) refitLocked() bool {
+	d := NumFeatures
+	trace := 0.0
+	for i := 0; i < d; i++ {
+		trace += s.a[i][i]
+	}
+	lambda := 1e-10*trace/float64(d) + 1e-12
+	for attempt := 0; attempt < 4; attempt++ {
+		var m [NumFeatures][NumFeatures]float64
+		for i := 0; i < d; i++ {
+			m[i] = s.a[i]
+			m[i][i] += lambda
+		}
+		if w, ok := cholSolve(&m, &s.b); ok {
+			s.w = w
+			s.fitted = true
+			s.lastFit = s.n
+			return true
+		}
+		lambda *= 1e3
+	}
+	return false
+}
+
+// cholSolve solves m w = b for symmetric positive-definite m via an
+// in-place Cholesky decomposition. Deterministic: fixed loop order, no
+// pivoting.
+func cholSolve(m *[NumFeatures][NumFeatures]float64, b *[NumFeatures]float64) ([NumFeatures]float64, bool) {
+	const d = NumFeatures
+	var l [d][d]float64
+	for i := 0; i < d; i++ {
+		for j := 0; j <= i; j++ {
+			sum := m[i][j]
+			for k := 0; k < j; k++ {
+				sum -= l[i][k] * l[j][k]
+			}
+			if i == j {
+				if sum <= 0 || math.IsNaN(sum) {
+					return [d]float64{}, false
+				}
+				l[i][i] = math.Sqrt(sum)
+			} else {
+				l[i][j] = sum / l[j][j]
+			}
+		}
+	}
+	// Forward then back substitution.
+	var y [d]float64
+	for i := 0; i < d; i++ {
+		sum := b[i]
+		for k := 0; k < i; k++ {
+			sum -= l[i][k] * y[k]
+		}
+		y[i] = sum / l[i][i]
+	}
+	var w [d]float64
+	for i := d - 1; i >= 0; i-- {
+		sum := y[i]
+		for k := i + 1; k < d; k++ {
+			sum -= l[k][i] * w[k]
+		}
+		w[i] = sum / l[i][i]
+	}
+	return w, true
+}
+
+// Model is the online-learned surrogate. The zero value is not usable;
+// create with New. All methods are safe for concurrent use and nil-safe,
+// so a nil *Model threads through option structs as "surrogate off".
+type Model struct {
+	segs [numSegments]segment
+
+	samples     atomic.Int64
+	refits      atomic.Int64
+	predictions atomic.Int64
+	filterCalls atomic.Int64
+	skipped     atomic.Int64
+
+	// Optional obs instruments (nil-safe no-ops until Instrument).
+	mSamples *obs.Counter
+	mRefits  *obs.Counter
+	mPreds   *obs.Counter
+	mFilter  *obs.Counter
+	mSkipped *obs.Counter
+	gR2      *obs.Gauge
+	gMAE     *obs.Gauge
+	gReady   *obs.Gauge
+}
+
+// New returns an empty model; it starts filtering only after enough
+// samples have flowed through Sample and the fit has proven itself.
+func New() *Model { return &Model{} }
+
+// Instrument attaches obs instruments (surrogate_* counters and the
+// online accuracy gauges). A nil registry is a no-op; instruments update
+// from Sample/FilterObserved, so the hot Evaluate path stays untouched.
+func (m *Model) Instrument(reg *obs.Registry) {
+	if m == nil || reg == nil {
+		return
+	}
+	m.mSamples = reg.Counter("surrogate_samples_total")
+	m.mRefits = reg.Counter("surrogate_refits_total")
+	m.mPreds = reg.Counter("surrogate_predictions_total")
+	m.mFilter = reg.Counter("surrogate_filter_calls_total")
+	m.mSkipped = reg.Counter("surrogate_exact_evals_skipped_total")
+	m.gR2 = reg.Gauge("surrogate_r2")
+	m.gMAE = reg.Gauge("surrogate_mae")
+	m.gReady = reg.Gauge("surrogate_segments_ready")
+}
+
+// Sample feeds one exact evaluation into the online fitter. It implements
+// cost.Sampler, so a Model plugs directly into cost.Memo's miss hook: the
+// surrogate trains on exactly the stream of engine-model computations the
+// search pays for anyway. Cost: one feature extraction, one dot product
+// and a rank-1 Gram update under a per-segment mutex — only on cache
+// misses, never on the hit path.
+func (m *Model) Sample(cfg engine.Config, df engine.Dataflow, t engine.Task, c engine.Cost) {
+	if m == nil {
+		return
+	}
+	// Concat/Input are zero-cost pass-throughs in the engine model; their
+	// (nonzero features, zero cycles) pairs would poison the vector
+	// segment's fit.
+	if t.Kind == graph.OpConcat || t.Kind == graph.OpInput {
+		return
+	}
+	reps := float64(1)
+	if t.Replicas > 1 {
+		reps = float64(t.Replicas)
+	}
+	y := float64(c.Cycles) / reps
+	var x [NumFeatures]float64
+	features(cfg, df, t, &x)
+
+	seg := &m.segs[segmentOf(t.Kind, df)]
+	seg.mu.Lock()
+	if seg.fitted {
+		pred := dot(&seg.w, &x)
+		e := pred - y
+		seg.predN++
+		if e < 0 {
+			e = -e
+		}
+		seg.absErr += e
+		seg.relErr += e / math.Max(y, 1)
+		seg.sqErr += (pred - y) * (pred - y)
+		d1 := y - seg.meanY
+		seg.meanY += d1 / float64(seg.predN)
+		seg.m2Y += d1 * (y - seg.meanY)
+		seg.ready = seg.predN >= readyMinPreds && seg.r2Locked() >= readyR2 &&
+			seg.relErr/float64(seg.predN) <= readyRelMAE
+	}
+	for i := 0; i < NumFeatures; i++ {
+		if x[i] == 0 {
+			continue
+		}
+		for j := 0; j < NumFeatures; j++ {
+			seg.a[i][j] += x[i] * x[j]
+		}
+		seg.b[i] += y * x[i]
+	}
+	seg.n++
+	refit := (!seg.fitted && seg.n >= minSamples) ||
+		(seg.fitted && seg.n-seg.lastFit >= refitEvery)
+	if refit {
+		refit = seg.refitLocked()
+	}
+	seg.mu.Unlock()
+
+	m.samples.Add(1)
+	m.mSamples.Inc()
+	if refit {
+		m.refits.Add(1)
+		m.mRefits.Inc()
+		m.publishGauges()
+	}
+}
+
+func dot(w, x *[NumFeatures]float64) float64 {
+	s := 0.0
+	for i := 0; i < NumFeatures; i++ {
+		s += w[i] * x[i]
+	}
+	return s
+}
+
+// FilterObserved records one candidate-filter application: kept
+// partitions were evaluated exactly, skipped ones were priced by the
+// surrogate alone. Called by the annealer.
+func (m *Model) FilterObserved(kept, skipped int) {
+	if m == nil {
+		return
+	}
+	m.filterCalls.Add(1)
+	m.skipped.Add(int64(skipped))
+	m.mFilter.Inc()
+	m.mSkipped.Add(int64(skipped))
+	m.publishGauges()
+}
+
+// publishGauges refreshes the accuracy gauges from the segment state.
+func (m *Model) publishGauges() {
+	if m.gR2 == nil && m.gMAE == nil && m.gReady == nil {
+		return
+	}
+	st := m.Stats()
+	m.gR2.Set(st.R2)
+	m.gMAE.Set(st.MAE)
+	m.gReady.SetInt(int64(st.SegmentsReady))
+}
+
+// Snapshot freezes the current per-segment weights into an immutable
+// predictor. Prediction through a snapshot is a pure function — the
+// filter takes one snapshot per candidate batch, so concurrent training
+// can never shift a decision mid-batch. Returns nil on a nil model.
+func (m *Model) Snapshot() *Snapshot {
+	if m == nil {
+		return nil
+	}
+	sn := &Snapshot{m: m}
+	any := false
+	for i := range m.segs {
+		seg := &m.segs[i]
+		seg.mu.Lock()
+		if seg.fitted && seg.ready {
+			sn.ready[i] = true
+			sn.w[i] = seg.w
+			any = true
+		}
+		seg.mu.Unlock()
+	}
+	if !any {
+		return nil
+	}
+	return sn
+}
+
+// Snapshot is a frozen predictor (see Model.Snapshot).
+type Snapshot struct {
+	m     *Model
+	ready [numSegments]bool
+	w     [numSegments][NumFeatures]float64
+}
+
+// Predict returns the surrogate's cycle estimate for one evaluation, or
+// ok=false when the evaluation's segment has not met the readiness bar —
+// the caller must fall back to exact evaluation. Estimates are clamped to
+// >= 1 cycle.
+func (sn *Snapshot) Predict(cfg engine.Config, df engine.Dataflow, t engine.Task) (cycles float64, ok bool) {
+	if sn == nil {
+		return 0, false
+	}
+	seg := segmentOf(t.Kind, df)
+	if !sn.ready[seg] {
+		return 0, false
+	}
+	var x [NumFeatures]float64
+	features(cfg, df, t, &x)
+	p := dot(&sn.w[seg], &x)
+	if t.Replicas > 1 {
+		p *= float64(t.Replicas)
+	}
+	if !(p >= 1) { // also catches NaN
+		p = 1
+	}
+	sn.m.predictions.Add(1)
+	sn.m.mPreds.Inc()
+	return p, true
+}
+
+// Stats is a point-in-time summary of the model.
+type Stats struct {
+	Samples           int64   // exact evaluations absorbed by the fitter
+	Refits            int64   // ridge solves performed
+	Predictions       int64   // surrogate predictions served to filters
+	FilterCalls       int64   // candidate batches filtered
+	ExactEvalsSkipped int64   // enumerated partitions not exactly evaluated
+	SegmentsReady     int     // segments past the readiness bar
+	MAE               float64 // prequential mean absolute error (cycles)
+	RelMAE            float64 // prequential mean relative error
+	R2                float64 // prequential R-squared, pooled over segments
+}
+
+// Stats summarizes the model's training and filtering activity. The
+// accuracy numbers are prequential (each sample predicted before it was
+// absorbed), pooled across fitted segments.
+func (m *Model) Stats() Stats {
+	if m == nil {
+		return Stats{}
+	}
+	st := Stats{
+		Samples:           m.samples.Load(),
+		Refits:            m.refits.Load(),
+		Predictions:       m.predictions.Load(),
+		FilterCalls:       m.filterCalls.Load(),
+		ExactEvalsSkipped: m.skipped.Load(),
+	}
+	var predN int64
+	var absErr, relErr, sqErr, m2 float64
+	for i := range m.segs {
+		seg := &m.segs[i]
+		seg.mu.Lock()
+		if seg.ready {
+			st.SegmentsReady++
+		}
+		predN += seg.predN
+		absErr += seg.absErr
+		relErr += seg.relErr
+		sqErr += seg.sqErr
+		m2 += seg.m2Y
+		seg.mu.Unlock()
+	}
+	if predN > 0 {
+		st.MAE = absErr / float64(predN)
+		st.RelMAE = relErr / float64(predN)
+	}
+	if m2 > 0 {
+		st.R2 = 1 - sqErr/m2
+	}
+	return st
+}

@@ -1,0 +1,230 @@
+package surrogate
+
+import (
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"github.com/atomic-dataflow/atomicflow/internal/engine"
+	"github.com/atomic-dataflow/atomicflow/internal/graph"
+)
+
+// randConvTask draws a plausible conv/FC tile — the shapes candidate
+// generation actually enumerates.
+func randConvTask(rng *rand.Rand) engine.Task {
+	ks := []int{1, 3, 5, 7}
+	k := ks[rng.Intn(len(ks))]
+	return engine.Task{
+		Kind:   graph.OpConv,
+		Hp:     1 + rng.Intn(64),
+		Wp:     1 + rng.Intn(64),
+		Ci:     1 + rng.Intn(512),
+		Cop:    1 + rng.Intn(512),
+		Kh:     k,
+		Kw:     k,
+		Stride: 1 + rng.Intn(2),
+	}
+}
+
+// feed trains the model with n random conv samples under df.
+func feed(m *Model, cfg engine.Config, df engine.Dataflow, n int, seed int64) {
+	rng := rand.New(rand.NewSource(seed))
+	for i := 0; i < n; i++ {
+		t := randConvTask(rng)
+		m.Sample(cfg, df, t, engine.Evaluate(cfg, df, t))
+	}
+}
+
+// TestModelLearnsEngine: the engine's cycle count is exactly linear in
+// the engineered features within one (class, dataflow) segment, so the
+// ridge fit should reproduce it almost exactly on held-out tasks.
+func TestModelLearnsEngine(t *testing.T) {
+	cfg := engine.Default()
+	for _, df := range []engine.Dataflow{engine.KCPartition, engine.YXPartition} {
+		m := New()
+		feed(m, cfg, df, 300, 7)
+		sn := m.Snapshot()
+		if sn == nil {
+			t.Fatalf("df %v: model not ready after 300 samples (stats %+v)", df, m.Stats())
+		}
+		rng := rand.New(rand.NewSource(99))
+		for i := 0; i < 100; i++ {
+			task := randConvTask(rng)
+			exact := float64(engine.Evaluate(cfg, df, task).Cycles)
+			pred, ok := sn.Predict(cfg, df, task)
+			if !ok {
+				t.Fatalf("df %v: segment not ready at predict time", df)
+			}
+			if rel := math.Abs(pred-exact) / exact; rel > 0.02 {
+				t.Errorf("df %v task %+v: pred %.1f vs exact %.0f (rel err %.4f)",
+					df, task, pred, exact, rel)
+			}
+		}
+		st := m.Stats()
+		if st.Samples != 300 || st.Refits == 0 || st.SegmentsReady == 0 {
+			t.Errorf("df %v: unexpected stats %+v", df, st)
+		}
+		if st.R2 < 0.99 {
+			t.Errorf("df %v: prequential R2 %.4f below 0.99", df, st.R2)
+		}
+	}
+}
+
+// TestPredictScalesReplicas: the engine multiplies cycles by the replica
+// count; features are per-replica and Predict scales back up.
+func TestPredictScalesReplicas(t *testing.T) {
+	cfg := engine.Default()
+	df := engine.KCPartition
+	m := New()
+	feed(m, cfg, df, 200, 11)
+	sn := m.Snapshot()
+	if sn == nil {
+		t.Fatal("model not ready")
+	}
+	task := engine.Task{Kind: graph.OpConv, Hp: 16, Wp: 16, Ci: 64, Cop: 64, Kh: 3, Kw: 3, Stride: 1}
+	p1, ok1 := sn.Predict(cfg, df, task)
+	task.Replicas = 4
+	p4, ok4 := sn.Predict(cfg, df, task)
+	if !ok1 || !ok4 {
+		t.Fatal("predictions not served")
+	}
+	if math.Abs(p4-4*p1) > 1e-6*p4 {
+		t.Errorf("replicas=4 prediction %.2f != 4 x %.2f", p4, p1)
+	}
+}
+
+// TestSnapshotFrozen: a snapshot must keep predicting with the weights it
+// froze even while the model keeps training — the candidate filter takes
+// one snapshot per batch and its decisions may not shift mid-batch.
+func TestSnapshotFrozen(t *testing.T) {
+	cfg := engine.Default()
+	df := engine.KCPartition
+	m := New()
+	feed(m, cfg, df, 200, 3)
+	sn := m.Snapshot()
+	if sn == nil {
+		t.Fatal("model not ready")
+	}
+	task := engine.Task{Kind: graph.OpConv, Hp: 14, Wp: 14, Ci: 256, Cop: 256, Kh: 3, Kw: 3, Stride: 1}
+	before, _ := sn.Predict(cfg, df, task)
+	feed(m, cfg, df, 500, 17) // concurrent-era training
+	after, _ := sn.Predict(cfg, df, task)
+	if before != after {
+		t.Errorf("snapshot prediction drifted: %.4f -> %.4f", before, after)
+	}
+}
+
+// TestNilSafety: a nil model (surrogate off) must thread through every
+// call site as a no-op.
+func TestNilSafety(t *testing.T) {
+	var m *Model
+	cfg := engine.Default()
+	task := engine.Task{Kind: graph.OpConv, Hp: 1, Wp: 1, Ci: 1, Cop: 1, Kh: 1, Kw: 1, Stride: 1}
+	m.Sample(cfg, engine.KCPartition, task, engine.Cost{Cycles: 1})
+	m.FilterObserved(1, 2)
+	m.Instrument(nil)
+	if m.Snapshot() != nil {
+		t.Error("nil model produced a snapshot")
+	}
+	if st := m.Stats(); st != (Stats{}) {
+		t.Errorf("nil model stats %+v", st)
+	}
+	var sn *Snapshot
+	if _, ok := sn.Predict(cfg, engine.KCPartition, task); ok {
+		t.Error("nil snapshot served a prediction")
+	}
+}
+
+// TestColdModelNotReady: before enough samples the snapshot is nil, so
+// consumers fall back to exact evaluation.
+func TestColdModelNotReady(t *testing.T) {
+	m := New()
+	if m.Snapshot() != nil {
+		t.Fatal("empty model claims readiness")
+	}
+	feed(m, engine.Default(), engine.KCPartition, minSamples-1, 5)
+	if m.Snapshot() != nil {
+		t.Fatal("model claims readiness below minSamples")
+	}
+}
+
+// TestZeroCostKindsIgnored: Concat/Input evaluations must not enter the
+// vector segment's fit.
+func TestZeroCostKindsIgnored(t *testing.T) {
+	m := New()
+	cfg := engine.Default()
+	task := engine.Task{Kind: graph.OpConcat, Hp: 8, Wp: 8, Ci: 8, Cop: 8, Kh: 1, Kw: 1, Stride: 1}
+	m.Sample(cfg, engine.KCPartition, task, engine.Cost{})
+	task.Kind = graph.OpInput
+	m.Sample(cfg, engine.KCPartition, task, engine.Cost{})
+	if st := m.Stats(); st.Samples != 0 {
+		t.Errorf("zero-cost kinds were sampled: %+v", st)
+	}
+}
+
+// TestConcurrentSample: the fitter must survive concurrent training and
+// snapshotting (the memoizing oracle samples from many goroutines).
+func TestConcurrentSample(t *testing.T) {
+	cfg := engine.Default()
+	m := New()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			feed(m, cfg, engine.KCPartition, 100, seed)
+			m.Snapshot()
+		}(int64(w + 1))
+	}
+	wg.Wait()
+	if st := m.Stats(); st.Samples != 800 {
+		t.Errorf("lost samples: %+v", st)
+	}
+}
+
+// TestSegmentIsolation: training only conv under KC-P must not make the
+// depthwise or vector segments (or other dataflows) claim readiness.
+func TestSegmentIsolation(t *testing.T) {
+	cfg := engine.Default()
+	m := New()
+	feed(m, cfg, engine.KCPartition, 200, 23)
+	sn := m.Snapshot()
+	if sn == nil {
+		t.Fatal("model not ready")
+	}
+	dw := engine.Task{Kind: graph.OpDepthwiseConv, Hp: 14, Wp: 14, Ci: 1, Cop: 96, Kh: 3, Kw: 3, Stride: 1}
+	if _, ok := sn.Predict(cfg, engine.KCPartition, dw); ok {
+		t.Error("untrained depthwise segment served a prediction")
+	}
+	conv := engine.Task{Kind: graph.OpConv, Hp: 14, Wp: 14, Ci: 64, Cop: 64, Kh: 3, Kw: 3, Stride: 1}
+	if _, ok := sn.Predict(cfg, engine.YXPartition, conv); ok {
+		t.Error("untrained YX-P segment served a prediction")
+	}
+}
+
+// FuzzSurrogateFeatures: feature extraction must be total — it never
+// panics and always produces finite values, over valid task ranges and
+// degenerate/hostile ones alike (the extractor runs on whatever the
+// oracle's miss stream carries).
+func FuzzSurrogateFeatures(f *testing.F) {
+	f.Add(int8(1), 16, 16, 64, 64, 3, 3, 1, 1, 16, 16, 0, 1)
+	f.Add(int8(3), 1, 1, 25088, 4096, 1, 1, 1, 0, 16, 16, 8, 16)
+	f.Add(int8(4), 0, -5, 0, 1<<30, -3, 7, 0, 1<<20, 0, -1, 3, 0)
+	f.Add(int8(120), 1<<30, 1<<30, 1<<30, 1<<30, 1<<30, 1<<30, 1<<30, 1<<30, 1, 1, 2, 1)
+	f.Fuzz(func(t *testing.T, kind int8, hp, wp, ci, cop, kh, kw, stride, reps, pex, pey, df, macs int) {
+		cfg := engine.Config{PEx: pex, PEy: pey, MACsPerPE: macs,
+			VectorLanes: 16, BufferBytes: 128 << 10, PortBytes: 8, FreqMHz: 500}
+		task := engine.Task{Kind: graph.OpKind(kind), Hp: hp, Wp: wp, Ci: ci,
+			Cop: cop, Kh: kh, Kw: kw, Stride: stride, Replicas: reps}
+		x := Features(cfg, engine.Dataflow(df), task)
+		for i, v := range x {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				t.Fatalf("feature %d not finite: %v (task %+v cfg %+v)", i, v, task, cfg)
+			}
+		}
+		if x[0] != 1 {
+			t.Fatalf("bias feature %v != 1", x[0])
+		}
+	})
+}

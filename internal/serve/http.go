@@ -47,7 +47,7 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, http.StatusRequestEntityTooLarge, "request body too large")
 		return
 	}
-	req, err := parseRequest(body, s.cfg.DefaultChains)
+	req, err := parseRequest(body, s.cfg.DefaultChains, s.cfg.DefaultSurrogate)
 	if err != nil {
 		s.writeError(w, http.StatusBadRequest, err.Error())
 		return

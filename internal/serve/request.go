@@ -49,6 +49,16 @@ type Request struct {
 	// -verify-delta flag forces it on for every request.
 	VerifyDelta bool `json:"verify_delta,omitempty"`
 
+	// Surrogate opts into the two-tier learned cost oracle (see
+	// atomicflow.Options.Surrogate). Tri-state: omitted takes the
+	// server's -surrogate default, explicit true/false pins it. UNLIKE
+	// verify_delta this IS part of the cache key — the surrogate filters
+	// which candidate partitions the search considers, so surrogate-on
+	// and surrogate-off solutions are legitimately different bytes and
+	// must never be served from each other's entries. (Cycles in both are
+	// exact; only the searched candidate set differs.)
+	Surrogate *bool `json:"surrogate,omitempty"`
+
 	graph     *graph.Graph // decoded workload
 	graphHash string       // sha256 of the canonical modelio encoding
 	key       string       // full cache key, set by ParseRequest
@@ -84,22 +94,28 @@ const (
 // (fuzzed by FuzzSolveRequest), and parsing the same bytes twice yields
 // the same key.
 func ParseRequest(data []byte) (*Request, error) {
-	return parseRequest(data, 0)
+	return parseRequest(data, 0, false)
 }
 
 // parseRequest is ParseRequest with server-level defaults applied before
 // normalization: a request that omits "chains" takes defChains (0 keeps
-// the library default of 1). Defaults must land before the cache key is
-// computed — the key states the chain count a cached solution was
-// actually searched with, so an explicit chains=1 request can never be
-// answered from a wider portfolio's entry or vice versa.
-func parseRequest(data []byte, defChains int) (*Request, error) {
+// the library default of 1) and one that omits "surrogate" takes
+// defSurrogate. Defaults must land before the cache key is computed —
+// the key states the chain count and surrogate mode a cached solution
+// was actually searched with, so an explicit chains=1 (or
+// surrogate=false) request can never be answered from a differently-
+// searched entry or vice versa.
+func parseRequest(data []byte, defChains int, defSurrogate bool) (*Request, error) {
 	var r Request
 	if err := json.Unmarshal(data, &r); err != nil {
 		return nil, fmt.Errorf("serve: bad request body: %w", err)
 	}
 	if r.Chains == 0 {
 		r.Chains = defChains
+	}
+	if r.Surrogate == nil {
+		v := defSurrogate
+		r.Surrogate = &v
 	}
 	if err := r.normalize(); err != nil {
 		return nil, err
@@ -173,6 +189,10 @@ func (r *Request) normalize() error {
 	if r.TimeoutMS < 0 {
 		return fmt.Errorf("serve: negative timeout_ms %d", r.TimeoutMS)
 	}
+	if r.Surrogate == nil {
+		f := false
+		r.Surrogate = &f
+	}
 	if r.Hardware == nil {
 		r.Hardware = &HardwareSpec{}
 	}
@@ -226,8 +246,8 @@ func (r *Request) Key() string { return r.key }
 func (r *Request) computeKey() string {
 	h := sha256.New()
 	fmt.Fprintf(h, "graph %s\n", r.graphHash)
-	fmt.Fprintf(h, "batch %d seed %d iters %d chains %d tiles %d mode %s trace %t\n",
-		r.Batch, r.Seed, r.SAIters, r.Chains, r.MaxTiles, r.Mode, r.Trace)
+	fmt.Fprintf(h, "batch %d seed %d iters %d chains %d tiles %d mode %s trace %t surrogate %t\n",
+		r.Batch, r.Seed, r.SAIters, r.Chains, r.MaxTiles, r.Mode, r.Trace, *r.Surrogate)
 	hw := r.Hardware
 	fmt.Fprintf(h, "hw %dx%d link %d buf %d df %s naive %t dbuf %t\n",
 		hw.MeshW, hw.MeshH, hw.LinkBytes, hw.BufferBytes, hw.Dataflow,

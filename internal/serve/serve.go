@@ -33,6 +33,7 @@ import (
 	"time"
 
 	atomicflow "github.com/atomic-dataflow/atomicflow"
+	"github.com/atomic-dataflow/atomicflow/internal/cost"
 	"github.com/atomic-dataflow/atomicflow/internal/obs"
 	"github.com/atomic-dataflow/atomicflow/internal/schedule"
 )
@@ -57,6 +58,15 @@ type Config struct {
 	// every request (see atomicflow.Options.VerifyDelta). A correctness
 	// harness, not part of the cache key — it never changes solutions.
 	VerifyDelta bool
+	// DefaultSurrogate applies the two-tier learned cost oracle to
+	// requests that omit "surrogate" (default off). Applied during
+	// request normalization, so it participates in the cache key: unlike
+	// VerifyDelta, the surrogate changes which candidates the search
+	// evaluates, so surrogate-on and -off entries must stay distinct. The
+	// server keeps one long-lived model trained from the shared oracle's
+	// whole evaluation stream regardless of this default; the flag only
+	// selects whether requests use it to filter.
+	DefaultSurrogate bool
 	// MaxBodyBytes bounds the /solve request body (default 8 MiB).
 	MaxBodyBytes int64
 	// Hardware is the base accelerator model requests override (default
@@ -128,6 +138,7 @@ type Server struct {
 	reg     *obs.Registry
 	base    atomicflow.HardwareConfig
 	oracle  atomicflow.CostOracle // shared across requests (sharded cache)
+	surr    *atomicflow.SurrogateModel
 	cache   *lruCache
 	queue   chan *job
 	wg      sync.WaitGroup
@@ -163,6 +174,13 @@ type serveMetrics struct {
 	busy       *obs.Gauge
 	reqLatency *obs.Histogram
 	solveTime  *obs.Histogram
+
+	// Cost-oracle cache visibility (updated after every solve).
+	memoEntries *obs.Gauge
+	memoHits    *obs.Gauge
+	memoMisses  *obs.Gauge
+	memoDedups  *obs.Gauge
+	memoSampled *obs.Gauge
 }
 
 // New builds the server and starts its worker pool.
@@ -204,9 +222,22 @@ func New(cfg Config) *Server {
 		busy:       reg.Gauge("serve_workers_busy"),
 		reqLatency: reg.Histogram("serve_request_seconds", lat),
 		solveTime:  reg.Histogram("serve_solve_seconds", lat),
+
+		memoEntries: reg.Gauge("cost_memo_entries"),
+		memoHits:    reg.Gauge("cost_memo_hits"),
+		memoMisses:  reg.Gauge("cost_memo_misses"),
+		memoDedups:  reg.Gauge("cost_memo_dedups"),
+		memoSampled: reg.Gauge("cost_memo_sampled"),
 	}
 	s.m.queueCap.SetInt(int64(cfg.queueDepth()))
 	s.m.workers.SetInt(int64(cfg.workers()))
+	// One long-lived surrogate trains from every exact evaluation the
+	// shared oracle computes, across all requests — training is a cheap
+	// rank-1 update on the miss path only, and whether a given request
+	// *uses* the model to filter is its own (cache-keyed) choice.
+	s.surr = atomicflow.NewSurrogateModel()
+	s.surr.Instrument(reg)
+	cost.AttachSampler(s.oracle, s.surr)
 	for i := 0; i < cfg.workers(); i++ {
 		s.wg.Add(1)
 		go s.worker()
@@ -341,6 +372,8 @@ func (s *Server) runJob(jb *job) (*solveResult, error) {
 		Chains:           req.Chains,
 		MaxTilesPerLayer: req.MaxTiles,
 		VerifyDelta:      req.VerifyDelta || s.cfg.VerifyDelta,
+		Surrogate:        *req.Surrogate,
+		SurrogateModel:   s.surr,
 		Context:          jb.ctx,
 	}
 	if req.Mode == "greedy" {
@@ -351,6 +384,7 @@ func (s *Server) runJob(jb *job) (*solveResult, error) {
 		opt.TraceWriter = &traceBuf
 	}
 	sol, err := atomicflow.Orchestrate(req.graph, opt)
+	s.publishOracleGauges()
 	if err != nil {
 		s.m.solveErrs.Inc()
 		return nil, err
@@ -375,6 +409,22 @@ func (s *Server) runJob(jb *job) (*solveResult, error) {
 	res := &solveResult{body: body, digest: resp.Digest}
 	s.cache.add(req.Key(), res)
 	return res, nil
+}
+
+// publishOracleGauges refreshes the cost_memo_* gauges from the shared
+// oracle — production visibility into the evaluation cache that was
+// previously a black box. Gauges, not counters: the oracle owns the
+// monotone values and the registry mirrors its latest reading.
+func (s *Server) publishOracleGauges() {
+	if st, ok := cost.StatsOf(s.oracle); ok {
+		s.m.memoHits.SetInt(st.Hits)
+		s.m.memoMisses.SetInt(st.Misses)
+		s.m.memoDedups.SetInt(st.Dedups)
+		s.m.memoSampled.SetInt(st.Sampled)
+	}
+	if l, ok := s.oracle.(interface{ Len() int }); ok {
+		s.m.memoEntries.SetInt(int64(l.Len()))
+	}
 }
 
 // finish publishes a flight's outcome and wakes its waiters.

@@ -1,0 +1,74 @@
+package atomicflow
+
+import (
+	"flag"
+	"sort"
+	"testing"
+)
+
+var surrogateFullZoo = flag.Bool("surrogate", false,
+	"run the surrogate parity check over the complete zoo (the surrogate-parity CI leg); default is a representative subset")
+
+// runSurrogate is matrixProfile.run with the two-tier oracle switched on.
+func (p matrixProfile) runSurrogate(t *testing.T, model string) *Solution {
+	t.Helper()
+	g, err := LoadModel(model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := Options{Seed: 1, SAIters: p.saIters, MaxTilesPerLayer: p.maxTiles,
+		Surrogate: true}
+	if p.meshSide > 0 {
+		hw := DefaultHardware()
+		hw.Mesh = NewMesh(p.meshSide, p.meshSide, hw.Mesh.LinkBytes)
+		opt.Hardware = &hw
+	}
+	sol, err := Orchestrate(g, opt)
+	if err != nil {
+		t.Fatalf("%s: %v", model, err)
+	}
+	return sol
+}
+
+// TestSurrogateParityZoo bounds the accuracy cost of the two-tier
+// oracle: for every zoo model, the surrogate-filtered search's final
+// simulated cycles must land within 2% of the exact search's at the same
+// seed. (Exactly 2% is the acceptance bar; the filter changes which
+// candidates exist, so bit-identity is not expected — that property is
+// pinned for surrogate-OFF runs by TestZooDeterminismMatrix.) The
+// default run covers a representative subset; CI passes -surrogate to
+// sweep the complete zoo.
+func TestSurrogateParityZoo(t *testing.T) {
+	profile := matrixProfile{name: "full", saIters: 200, maxTiles: 128}
+	if testing.Short() {
+		profile = matrixProfile{name: "short", saIters: 60, maxTiles: 64, meshSide: 4}
+	}
+	models := []string{"inceptionv3", "mobilenetv2", "resnet50", "resnet152", "vgg19"}
+	if *surrogateFullZoo {
+		models = ModelNames()
+		sort.Strings(models)
+	}
+	for _, model := range models {
+		t.Run(model, func(t *testing.T) {
+			exact := profile.run(t, model)
+			filt := profile.runSurrogate(t, model)
+			rel := (float64(filt.Report.Cycles) - float64(exact.Report.Cycles)) /
+				float64(exact.Report.Cycles)
+			t.Logf("cycles: exact %d surrogate %d (%+.3f%%); model %+v",
+				exact.Report.Cycles, filt.Report.Cycles, 100*rel, filt.SurrogateStats)
+			// One-sided: the refinement pass sometimes finds a strictly
+			// better schedule than the exact search (denser lists near the
+			// final unified cycle) — only a regression is a failure.
+			if rel > 0.02 {
+				t.Errorf("surrogate cycles %d vs exact %d: %.2f%% worse, want within 2%%",
+					filt.Report.Cycles, exact.Report.Cycles, 100*rel)
+			}
+			if filt.SurrogateStats.Samples == 0 {
+				t.Error("surrogate run reports no training samples")
+			}
+			if exact.SurrogateStats != (SurrogateStats{}) {
+				t.Error("exact run carries surrogate stats")
+			}
+		})
+	}
+}
