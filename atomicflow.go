@@ -104,6 +104,12 @@ type (
 	// MetricsSnapshot is a point-in-time copy of a registry's instruments,
 	// exported by Solution.Metrics and (*MetricsRegistry).Snapshot.
 	MetricsSnapshot = obs.Snapshot
+	// SearchSample is one per-chain annealing progress observation,
+	// delivered in batches through Options.Progress: chain index,
+	// iterations, temperature, best energy/unified cycle, and whether the
+	// chain adopted the global best at this exchange barrier. CV()
+	// converts the energy to the paper's load-balance metric.
+	SearchSample = anneal.Sample
 )
 
 // Operator kinds.
@@ -257,6 +263,14 @@ type Options struct {
 	// across the SA search and the simulator (overrides
 	// Hardware.Metrics); Solution.Metrics holds the final snapshot.
 	Metrics *MetricsRegistry
+	// Progress, when non-nil, streams per-chain search progress: one
+	// SearchSample batch at every annealing exchange barrier and a final
+	// batch after the polish sweep. The hook runs on the search's
+	// coordinating goroutine between chain segments and must only
+	// observe — installing it never perturbs the seeded trajectory, so
+	// solutions (and their digests) are bit-identical with or without it.
+	// This is what feeds the serving layer's live dashboard.
+	Progress func([]SearchSample)
 	// Context, when non-nil, bounds the orchestration: the SA search, the
 	// Round scheduler and the simulator poll it and Orchestrate returns
 	// an error wrapping the context's error (context.Canceled or
@@ -386,6 +400,7 @@ func Orchestrate(g *Graph, opt Options) (*Solution, error) {
 		Surrogate:      surModel,
 		Oracle:         hw.Oracle,
 		Metrics:        hw.Metrics,
+		Progress:       opt.Progress,
 		Ctx:            ctx,
 	})
 	// SA returns its best-so-far state on cancellation; surface the

@@ -5,6 +5,9 @@
 // an optional execution trace. Identical concurrent requests are
 // deduplicated, repeat requests are answered from an LRU solution cache,
 // and a bounded admission queue sheds load with 429 + Retry-After.
+// A live fleet dashboard — active solves with per-chain convergence
+// sparklines, session history, and an SSE event stream — is embedded at
+// /debug/dash.
 //
 // Usage:
 //
@@ -12,6 +15,7 @@
 //	curl -s localhost:8080/solve -d '{"model":"resnet50","sa_iters":200}'
 //	curl -s localhost:8080/healthz
 //	curl -s localhost:8080/metrics
+//	open http://localhost:8080/debug/dash
 package main
 
 import (
@@ -54,7 +58,7 @@ func main() {
 
 	errc := make(chan error, 1)
 	go func() { errc <- httpSrv.ListenAndServe() }()
-	fmt.Fprintf(os.Stderr, "adserve: listening on %s (POST /solve, /healthz, /metrics)\n", *addr)
+	fmt.Fprintf(os.Stderr, "adserve: listening on %s (POST /solve, /healthz, /metrics, /debug/dash)\n", *addr)
 
 	sigc := make(chan os.Signal, 1)
 	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)

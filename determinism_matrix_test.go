@@ -15,6 +15,10 @@ var updateDigests = flag.Bool("update-digests", false,
 var verifyDelta = flag.Bool("verify-delta", false,
 	"run the matrix with incremental-vs-full search cross-checking (the verify-delta CI leg)")
 
+var dashProgress = flag.Bool("dash-progress", false,
+	"run the matrix with a dashboard progress hook attached; the hook is "+
+		"observation-only, so every pinned digest must stay byte-identical")
+
 // matrixProfile is one (search, hardware) size the matrix is pinned at.
 // Both profiles run the complete anneal → schedule → map → simulate
 // pipeline; "short" only shrinks the mesh and the search so `go test
@@ -35,6 +39,16 @@ func (p matrixProfile) run(t *testing.T, model string) *Solution {
 	}
 	opt := Options{Seed: 1, SAIters: p.saIters, MaxTilesPerLayer: p.maxTiles,
 		VerifyDelta: *verifyDelta}
+	if *dashProgress {
+		// The hook the serving layer's dashboard installs, reduced to its
+		// essence: it observes every sample batch (exactly what serve's
+		// adapter does) and must not move a single digest.
+		opt.Progress = func(samples []SearchSample) {
+			for _, s := range samples {
+				_ = s.CV()
+			}
+		}
+	}
 	if p.meshSide > 0 {
 		hw := DefaultHardware()
 		hw.Mesh = NewMesh(p.meshSide, p.meshSide, hw.Mesh.LinkBytes)

@@ -97,6 +97,43 @@ type Options struct {
 	// run by a dedicated CI leg over the whole zoo; it never changes the
 	// search trajectory, only its cost.
 	VerifyDelta bool
+
+	// Progress, when non-nil, receives one Sample per portfolio chain at
+	// every ExchangeEvery iteration barrier, plus a final batch (Final
+	// set) after the polish sweep. The hook runs on the coordinating
+	// goroutine between chain segments — never concurrently with chain
+	// execution — and only observes: chain RNGs and states are untouched
+	// while it runs, so installing it leaves every trajectory (and every
+	// pinned digest) bit-identical. Single-chain searches are segmented
+	// into ExchangeEvery-sized runs to create the observation points; the
+	// segmentation itself is invisible because the Metropolis loop is a
+	// pure per-iteration recurrence. Keep the hook cheap — the whole
+	// search blocks while it executes.
+	Progress func([]Sample)
+}
+
+// Sample is one per-chain observation of search progress, delivered
+// through Options.Progress. Energies are the raw cycle variance the
+// search minimizes; CV converts to the paper's scale-free load-balance
+// metric.
+type Sample struct {
+	Chain     int     // portfolio slot index (0 for single-chain SA)
+	Iters     int     // chain-local Metropolis iterations executed so far
+	Temp      float64 // current temperature (0 for the GA slot)
+	BestE     float64 // best energy (cycle variance) this chain has seen
+	BestS     float64 // unified cycle of that best state
+	Adopted   bool    // chain adopted the global best at this barrier
+	Converged bool    // chain hit the epsilon target
+	Final     bool    // emitted once, after the polish sweep
+}
+
+// CV returns the sample's coefficient of variation sqrt(BestE)/BestS
+// (0 when BestS is 0).
+func (s Sample) CV() float64 {
+	if s.BestS <= 0 {
+		return 0
+	}
+	return math.Sqrt(s.BestE) / s.BestS
 }
 
 func (o Options) cancelled() bool {
@@ -330,6 +367,21 @@ func (c *saChain) run(sctx *search, opt Options, n int, m saMetrics) {
 	}
 }
 
+// sample snapshots the chain's progress for Options.Progress. Called
+// only between segments on the coordinating goroutine, so the reads are
+// unsynchronized by construction.
+func (c *saChain) sample(adopted bool) Sample {
+	return Sample{
+		Chain:     c.idx,
+		Iters:     c.iters,
+		Temp:      c.temp,
+		BestE:     c.bestE,
+		BestS:     c.bestS,
+		Adopted:   adopted,
+		Converged: c.converged,
+	}
+}
+
 // polish is the deterministic post-search sweep ("for better
 // convergence"): a grid of unified-cycle targets around the best state,
 // keeping the minimum. The grid is cut into contiguous ascending chunks,
@@ -396,11 +448,33 @@ func SA(g *graph.Graph, cfg engine.Config, df engine.Dataflow, opt Options) Resu
 	sctx := newSearch(g, cfg, df, opt)
 	m := newSAMetrics(opt)
 	c := newChain(0, opt.seed(), sctx, opt)
-	c.run(sctx, opt, opt.maxIters(), m)
+	if opt.Progress == nil {
+		c.run(sctx, opt, opt.maxIters(), m)
+	} else {
+		// Segment the budget exactly like the portfolio's barrier loop.
+		// run() is a pure per-iteration recurrence, so slicing MaxIters
+		// into ExchangeEvery-sized runs changes nothing about the
+		// trajectory — it only creates safe points to observe from.
+		total := opt.maxIters()
+		for done := 0; done < total && !c.converged && !opt.cancelled(); {
+			n := opt.exchangeEvery()
+			if done+n > total {
+				n = total - done
+			}
+			c.run(sctx, opt, n, m)
+			done += n
+			opt.Progress([]Sample{c.sample(false)})
+		}
+	}
 	best := sctx.refine(c.best, c.bestS)
 	best, bestE, bestS := sctx.polish(opt, best, c.bestE, c.bestS)
 	if n := len(c.trace); n > 0 && bestE < c.trace[n-1] {
 		c.trace = append(c.trace, bestE)
+	}
+	if opt.Progress != nil {
+		fin := c.sample(false)
+		fin.BestE, fin.BestS, fin.Final = bestE, bestS, true
+		opt.Progress([]Sample{fin})
 	}
 	m.tempFinal.Set(c.temp)
 	res := sctx.finish(best, bestE, bestS, c.trace, c.iters)

@@ -145,7 +145,8 @@ func portfolioSA(g *graph.Graph, cfg engine.Config, df engine.Dataflow, opt Opti
 				gb = i
 			}
 		}
-		for _, c := range chains {
+		adopted := make([]bool, len(chains))
+		for i, c := range chains {
 			if c.idx == chains[gb].idx || chains[gb].bestE >= c.E {
 				continue
 			}
@@ -158,7 +159,17 @@ func portfolioSA(g *graph.Graph, cfg engine.Config, df engine.Dataflow, opt Opti
 				c.best, c.bestE, c.bestS = cloneState(chains[gb].best), c.E, c.S
 			}
 			c.adoptions++
+			adopted[i] = true
 			exchanges++
+		}
+		if opt.Progress != nil {
+			// The barrier runs sequentially on this goroutine, so sampling
+			// here reads settled chain state; the hook only observes.
+			samples := make([]Sample, len(chains))
+			for i, c := range chains {
+				samples[i] = c.sample(adopted[i])
+			}
+			opt.Progress(samples)
 		}
 	}
 	gaWG.Wait()
@@ -182,6 +193,27 @@ func portfolioSA(g *graph.Graph, cfg engine.Config, df engine.Dataflow, opt Opti
 	best, bestE, bestS = sctx.polish(opt, best, bestE, bestS)
 	if n := len(trace); n > 0 && bestE < trace[n-1] {
 		trace = append(trace, bestE)
+	}
+	if opt.Progress != nil {
+		// Final batch: every member's closing state, with the winner's
+		// post-polish energy on the winning slot.
+		fin := make([]Sample, 0, K)
+		for _, c := range chains {
+			s := c.sample(false)
+			s.Final = true
+			if c == win && (ga == nil || ga.bestE >= c.bestE) {
+				s.BestE, s.BestS = bestE, bestS
+			}
+			fin = append(fin, s)
+		}
+		if ga != nil {
+			s := Sample{Chain: ga.idx, Iters: ga.gens, BestE: ga.bestE, BestS: ga.best.acc.mean(), Final: true}
+			if ga.bestE < win.bestE {
+				s.BestE, s.BestS = bestE, bestS
+			}
+			fin = append(fin, s)
+		}
+		opt.Progress(fin)
 	}
 
 	// Per-chain observability: accept/reject split, barrier adoptions and

@@ -6,6 +6,21 @@ import (
 	"net/http/pprof"
 )
 
+// get wraps a handler so only GET/HEAD reach it; anything else is
+// answered 405 with an Allow header, per RFC 9110. The metrics endpoints
+// are read-only by definition, and answering 200 to a POST (as earlier
+// versions did) confuses scrapers' health probes.
+func get(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet && r.Method != http.MethodHead {
+			w.Header().Set("Allow", "GET")
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		h(w, r)
+	}
+}
+
 // Handler serves the registry over HTTP:
 //
 //	/metrics       Prometheus text exposition
@@ -13,17 +28,18 @@ import (
 //	/debug/pprof/  the standard Go profiling endpoints
 //
 // Mount it on a loopback listener during long sweeps so progress and
-// profiles are observable without stopping the run.
+// profiles are observable without stopping the run. The metrics
+// endpoints are GET-only and always state an explicit charset.
 func Handler(r *Registry) http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+	mux.HandleFunc("/metrics", get(func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		_ = r.WritePrometheus(w)
-	})
-	mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, _ *http.Request) {
-		w.Header().Set("Content-Type", "application/json")
+	}))
+	mux.HandleFunc("/metrics.json", get(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
 		_ = r.WriteJSON(w)
-	})
+	}))
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)

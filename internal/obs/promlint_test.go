@@ -1,0 +1,129 @@
+package obs
+
+import (
+	"bytes"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// TestLintRealExposition is the promtool-check-metrics-equivalent gate:
+// a registry exercising every instrument shape (plain counter, labeled
+// counter, gauge, histogram, labeled histogram, infinities) must emit a
+// document the linter accepts.
+func TestLintRealExposition(t *testing.T) {
+	r := New()
+	r.Counter("a_total").Add(7)
+	r.Counter(Name("b_total", "engine", 3)).Add(2)
+	r.Gauge("g").Set(1.5)
+	r.Gauge(`build_info{go_version="go1.22.0",gomaxprocs="8",version="dev"}`).Set(1)
+	h := r.Histogram("h_cycles", []float64{10, 100})
+	h.ObserveInt(5)
+	h.ObserveInt(500)
+	r.Histogram(Name("l_cycles", "engine", 1), []float64{10}).ObserveInt(3)
+
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := LintPrometheus(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatalf("lint rejected the registry's own exposition: %v\n%s", err, buf.String())
+	}
+}
+
+func TestLintRejectsCorruptDocuments(t *testing.T) {
+	cases := []struct{ name, doc, wantErr string }{
+		{"bad metric name", "1bad_name 3\n", "invalid metric name"},
+		{"bad TYPE kind", "# TYPE x flavor\nx 1\n", "unknown metric type"},
+		{"TYPE after sample", "x 1\n# TYPE x counter\n", "after its first sample"},
+		{"duplicate TYPE", "# TYPE x counter\n# TYPE x gauge\nx 1\n", "duplicate TYPE"},
+		{"duplicate series", "x 1\nx 2\n", "duplicate series"},
+		{"duplicate labeled series", `x{a="1"} 1` + "\n" + `x{a="1"} 2` + "\n", "duplicate series"},
+		{"missing value", "x\n", "sample without value"},
+		{"unparseable value", "x banana\n", "unparseable value"},
+		{"unbalanced braces", "x}y 1\n", "invalid metric name"},
+		{"bad label name", `x{1a="v"} 1` + "\n", "invalid label name"},
+		{"unquoted label value", `x{a=v} 1` + "\n", "not quoted"},
+		{"bucket without le", `x_bucket{a="1"} 1` + "\n", "without le"},
+		{
+			"non-cumulative buckets",
+			`x_bucket{le="1"} 5` + "\n" + `x_bucket{le="2"} 3` + "\n" + `x_bucket{le="+Inf"} 5` + "\nx_count 5\n",
+			"non-cumulative",
+		},
+		{
+			"no +Inf bucket",
+			`x_bucket{le="1"} 5` + "\nx_count 5\n",
+			"no +Inf bucket",
+		},
+		{
+			"+Inf disagrees with count",
+			`x_bucket{le="+Inf"} 4` + "\nx_count 5\n",
+			"!= _count",
+		},
+	}
+	for _, c := range cases {
+		err := LintPrometheus(strings.NewReader(c.doc))
+		if err == nil {
+			t.Errorf("%s: lint accepted\n%s", c.name, c.doc)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.wantErr) {
+			t.Errorf("%s: error %q does not mention %q", c.name, err, c.wantErr)
+		}
+	}
+}
+
+func TestLintAcceptsValidCorners(t *testing.T) {
+	doc := "# HELP x free text here\n" +
+		"# a bare comment\n" +
+		"# TYPE x counter\n" +
+		"x 1\n" +
+		`y{a="with \"escaped\", comma"} 2.5e-3` + "\n" +
+		"z +Inf\n" +
+		`h_bucket{le="1"} 1` + "\n" + `h_bucket{le="+Inf"} 2` + "\n" +
+		"h_sum 3\nh_count 2\n"
+	if err := LintPrometheus(strings.NewReader(doc)); err != nil {
+		t.Fatalf("lint rejected a valid document: %v", err)
+	}
+}
+
+// TestMetricsMethodGuard is the regression test for the fix where the
+// metrics endpoints answered 200 to any method: non-GET must now be 405
+// with an Allow header, and every 200 carries an explicit charset.
+func TestMetricsMethodGuard(t *testing.T) {
+	r := New()
+	r.Counter("x_total").Add(1)
+	srv := httptest.NewServer(Handler(r))
+	defer srv.Close()
+
+	cases := []struct{ path, ct string }{
+		{"/metrics", "text/plain; version=0.0.4; charset=utf-8"},
+		{"/metrics.json", "application/json; charset=utf-8"},
+	}
+	for _, c := range cases {
+		res, err := http.Get(srv.URL + c.path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res.Body.Close()
+		if res.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: %d", c.path, res.StatusCode)
+		}
+		if got := res.Header.Get("Content-Type"); got != c.ct {
+			t.Fatalf("GET %s: Content-Type %q, want %q", c.path, got, c.ct)
+		}
+
+		res, err = http.Post(srv.URL+c.path, "text/plain", strings.NewReader("x"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		res.Body.Close()
+		if res.StatusCode != http.StatusMethodNotAllowed {
+			t.Fatalf("POST %s: %d, want 405", c.path, res.StatusCode)
+		}
+		if res.Header.Get("Allow") != "GET" {
+			t.Fatalf("POST %s: Allow %q, want GET", c.path, res.Header.Get("Allow"))
+		}
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"github.com/atomic-dataflow/atomicflow/internal/obs"
+	"github.com/atomic-dataflow/atomicflow/internal/obs/dash"
 )
 
 // StatusClientClosedRequest reports a waiter whose client went away
@@ -22,15 +23,33 @@ const StatusClientClosedRequest = 499
 //	GET  /healthz   liveness + queue/worker/cache occupancy
 //	GET  /metrics   Prometheus text exposition of the serving metrics
 //	GET  /metrics.json  JSON snapshot of the same registry
+//	GET  /debug/dash    the live fleet dashboard (embedded web UI)
+//	GET  /debug/dash/state.json     active solves + fleet gauges
+//	GET  /debug/dash/sessions.json  recent session history
+//	GET  /debug/dash/events         server-sent-event stream
 //	     /debug/pprof/  the standard Go profiling endpoints
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/solve", s.handleSolve)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	obsH := obs.Handler(s.reg)
-	mux.Handle("/metrics", obsH)
-	mux.Handle("/metrics.json", obsH)
+	// Uptime is refreshed at scrape time rather than by a ticker: the
+	// gauge is exact whenever anyone reads it and costs nothing between
+	// scrapes.
+	metricsH := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		s.m.uptime.Set(time.Since(s.started).Seconds())
+		obsH.ServeHTTP(w, r)
+	})
+	mux.Handle("/metrics", metricsH)
+	mux.Handle("/metrics.json", metricsH)
 	mux.Handle("/debug/pprof/", obsH)
+	dashH := dash.Handler(s.dash, s.reg)
+	dashW := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		s.m.uptime.Set(time.Since(s.started).Seconds())
+		dashH.ServeHTTP(w, r)
+	})
+	mux.Handle("/debug/dash", dashW)
+	mux.Handle("/debug/dash/", dashW)
 	return mux
 }
 

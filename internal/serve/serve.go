@@ -28,6 +28,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -35,6 +36,7 @@ import (
 	atomicflow "github.com/atomic-dataflow/atomicflow"
 	"github.com/atomic-dataflow/atomicflow/internal/cost"
 	"github.com/atomic-dataflow/atomicflow/internal/obs"
+	"github.com/atomic-dataflow/atomicflow/internal/obs/dash"
 	"github.com/atomic-dataflow/atomicflow/internal/schedule"
 )
 
@@ -139,6 +141,7 @@ type Server struct {
 	base    atomicflow.HardwareConfig
 	oracle  atomicflow.CostOracle // shared across requests (sharded cache)
 	surr    *atomicflow.SurrogateModel
+	dash    *dash.Store
 	cache   *lruCache
 	queue   chan *job
 	wg      sync.WaitGroup
@@ -172,6 +175,7 @@ type serveMetrics struct {
 	queueCap   *obs.Gauge
 	workers    *obs.Gauge
 	busy       *obs.Gauge
+	uptime     *obs.Gauge
 	reqLatency *obs.Histogram
 	solveTime  *obs.Histogram
 
@@ -220,6 +224,7 @@ func New(cfg Config) *Server {
 		queueCap:   reg.Gauge("serve_queue_capacity"),
 		workers:    reg.Gauge("serve_workers"),
 		busy:       reg.Gauge("serve_workers_busy"),
+		uptime:     reg.Gauge("serve_uptime_seconds"),
 		reqLatency: reg.Histogram("serve_request_seconds", lat),
 		solveTime:  reg.Histogram("serve_solve_seconds", lat),
 
@@ -231,6 +236,14 @@ func New(cfg Config) *Server {
 	}
 	s.m.queueCap.SetInt(int64(cfg.queueDepth()))
 	s.m.workers.SetInt(int64(cfg.workers()))
+	// Fleet identity: a constant-1 build_info gauge carrying the binary's
+	// version labels (Prometheus convention), so dashboards and scrapes
+	// can tell one deploy from another.
+	reg.Gauge(buildInfoName()).Set(1)
+	// The live dashboard's stores. Always on: feeding them costs ring
+	// appends on already-slow paths (request admission, solve lifecycle,
+	// exchange barriers), and bounded memory. Mounted at /debug/dash.
+	s.dash = dash.NewStore(dash.Config{})
 	// One long-lived surrogate trains from every exact evaluation the
 	// shared oracle computes, across all requests — training is a cheap
 	// rank-1 update on the miss path only, and whether a given request
@@ -247,6 +260,51 @@ func New(cfg Config) *Server {
 
 // Metrics returns the server's registry (exported at /metrics).
 func (s *Server) Metrics() *obs.Registry { return s.reg }
+
+// Dash returns the server's live-dashboard store (served at /debug/dash).
+func (s *Server) Dash() *dash.Store { return s.dash }
+
+// buildInfoName assembles the labeled build_info gauge name: the
+// binary's module version (or VCS revision when stamped), the Go
+// toolchain and GOMAXPROCS. Computed once at startup — none of these
+// change while the process lives.
+func buildInfoName() string {
+	version := "dev"
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		if v := bi.Main.Version; v != "" && v != "(devel)" {
+			version = v
+		}
+		for _, kv := range bi.Settings {
+			if kv.Key == "vcs.revision" && len(kv.Value) >= 12 {
+				version = kv.Value[:12]
+			}
+		}
+	}
+	return fmt.Sprintf(`build_info{go_version=%q,gomaxprocs="%d",version=%q}`,
+		runtime.Version(), runtime.GOMAXPROCS(0), version)
+}
+
+// solveID is the dashboard's short handle for a request: enough key
+// prefix to be unique in any realistic event window, short enough to
+// scan in a table.
+func solveID(req *Request) string {
+	if k := req.Key(); len(k) >= 12 {
+		return k[:12]
+	}
+	return req.Key()
+}
+
+// modelName labels a request for humans: the zoo name, or the inline
+// graph's own name.
+func modelName(req *Request) string {
+	if req.Model != "" {
+		return req.Model
+	}
+	if req.graph != nil && req.graph.Name != "" {
+		return req.graph.Name
+	}
+	return "inline"
+}
 
 // Shutdown drains the server: new work is refused with 503, queued and
 // in-flight solves complete and their waiters are answered. If ctx
@@ -286,6 +344,7 @@ func (s *Server) lookup(req *Request) (*solveResult, *flight, error) {
 	if res, ok := s.cache.get(req.Key()); ok {
 		s.m.cacheHits.Inc()
 		s.updateHitRatio()
+		s.dash.Publish(dash.EvCached, solveID(req), modelName(req), "")
 		return res, nil, nil
 	}
 	s.m.cacheMiss.Inc()
@@ -299,6 +358,8 @@ func (s *Server) lookup(req *Request) (*solveResult, *flight, error) {
 	if fl, ok := s.flights[req.Key()]; ok {
 		fl.waiters++
 		s.m.dedup.Inc()
+		s.dash.Publish(dash.EvDedup, solveID(req), modelName(req),
+			fmt.Sprintf("waiters=%d", fl.waiters))
 		return nil, fl, nil
 	}
 	jctx, jcancel := context.WithCancel(s.baseCtx)
@@ -307,10 +368,13 @@ func (s *Server) lookup(req *Request) (*solveResult, *flight, error) {
 	case s.queue <- &job{req: req, fl: fl, ctx: jctx}:
 		s.flights[req.Key()] = fl
 		s.m.queueDepth.SetInt(int64(len(s.queue)))
+		s.dash.Publish(dash.EvAdmitted, solveID(req), modelName(req),
+			fmt.Sprintf("queue=%d", len(s.queue)))
 		return nil, fl, nil
 	default:
 		jcancel()
 		s.m.rejected.Inc()
+		s.dash.Publish(dash.EvRejected, solveID(req), modelName(req), "queue full")
 		return nil, nil, errQueueFull
 	}
 }
@@ -362,6 +426,7 @@ func (s *Server) runJob(jb *job) (*solveResult, error) {
 	s.m.solves.Inc()
 
 	req := jb.req
+	id, model := solveID(req), modelName(req)
 	hw := req.hardware(s.base)
 	hw.Oracle = s.oracle
 	opt := atomicflow.Options{
@@ -374,6 +439,7 @@ func (s *Server) runJob(jb *job) (*solveResult, error) {
 		VerifyDelta:      req.VerifyDelta || s.cfg.VerifyDelta,
 		Surrogate:        *req.Surrogate,
 		SurrogateModel:   s.surr,
+		Progress:         s.dashProgress(id, model),
 		Context:          jb.ctx,
 	}
 	if req.Mode == "greedy" {
@@ -383,10 +449,24 @@ func (s *Server) runJob(jb *job) (*solveResult, error) {
 	if req.Trace {
 		opt.TraceWriter = &traceBuf
 	}
+	s.dash.SolveStarted(id, model, req.Chains)
+	ready0 := s.surr.Stats().SegmentsReady
+	start := time.Now()
 	sol, err := atomicflow.Orchestrate(req.graph, opt)
 	s.publishOracleGauges()
+	// The learned oracle's trust gate is fleet state, not request state:
+	// surface every readiness flip as an event so operators can correlate
+	// solve-behavior changes with the model coming (or falling) online.
+	if ready1 := s.surr.Stats().SegmentsReady; ready1 != ready0 {
+		s.dash.Publish(dash.EvSurrogate, id, model,
+			fmt.Sprintf("segments_ready %d -> %d", ready0, ready1))
+	}
 	if err != nil {
 		s.m.solveErrs.Inc()
+		s.dash.SolveFinished(dash.Session{
+			ID: id, Model: model, Chains: req.Chains,
+			DurMS: time.Since(start).Milliseconds(), Error: err.Error(),
+		})
 		return nil, err
 	}
 	resp := SolveResponse{
@@ -408,7 +488,43 @@ func (s *Server) runJob(jb *job) (*solveResult, error) {
 	}
 	res := &solveResult{body: body, digest: resp.Digest}
 	s.cache.add(req.Key(), res)
+	s.dash.SolveFinished(dash.Session{
+		ID: id, Model: model, Chains: req.Chains,
+		DurMS:  time.Since(start).Milliseconds(),
+		Digest: resp.Digest, Rounds: sol.Rounds, Atoms: sol.Atoms,
+		FinalCV: sol.AtomCycleCV,
+	})
 	return res, nil
+}
+
+// dashProgress adapts the annealer's per-chain progress samples into the
+// dashboard's stores: every batch lands in the active solve's series,
+// and multi-chain exchange barriers additionally publish a
+// chain_exchange event with the barrier's adoption count. Pure
+// observation — the hook reads the samples it is handed and never
+// touches search state.
+func (s *Server) dashProgress(id, model string) func([]atomicflow.SearchSample) {
+	return func(samples []atomicflow.SearchSample) {
+		pts := make([]dash.ChainSample, len(samples))
+		adopted, final := 0, false
+		for i, sm := range samples {
+			pts[i] = dash.ChainSample{
+				Chain: sm.Chain, Iters: sm.Iters, Temp: sm.Temp,
+				BestE: sm.BestE, BestCV: sm.CV(), Adopted: sm.Adopted,
+			}
+			if sm.Adopted {
+				adopted++
+			}
+			if sm.Final {
+				final = true
+			}
+		}
+		s.dash.SolveProgress(id, pts)
+		if len(samples) > 1 && !final {
+			s.dash.Publish(dash.EvExchange, id, model,
+				fmt.Sprintf("iters=%d adopted=%d", samples[0].Iters, adopted))
+		}
+	}
 }
 
 // publishOracleGauges refreshes the cost_memo_* gauges from the shared
