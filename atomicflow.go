@@ -104,6 +104,11 @@ type (
 	// MetricsSnapshot is a point-in-time copy of a registry's instruments,
 	// exported by Solution.Metrics and (*MetricsRegistry).Snapshot.
 	MetricsSnapshot = obs.Snapshot
+	// Partition is one layer's atomic tiling choice (Hp, Wp, Cop splits).
+	// Solution.Partitions exposes the solved per-layer map and
+	// Options.WarmStart accepts one, so a prior solution can seed a new
+	// search on the same graph.
+	Partition = atom.Partition
 	// SearchSample is one per-chain annealing progress observation,
 	// delivered in batches through Options.Progress: chain index,
 	// iterations, temperature, best energy/unified cycle, and whether the
@@ -244,6 +249,14 @@ type Options struct {
 	// workload/options tuple); sharing one across runs lets later solves
 	// reuse earlier training at the price of history-dependence.
 	SurrogateModel *SurrogateModel
+	// WarmStart, when non-empty, seeds the search from a prior solution
+	// of the same graph (layer id -> partition): chain 0 starts at the
+	// donor state instead of the deterministic default, and candidate
+	// enumeration keeps a window around each donor split. Solutions stay
+	// exactly evaluated; only the starting point (and so the explored
+	// trajectory) changes. Entries for unknown layers are ignored, so a
+	// donor solved under different hardware is safe.
+	WarmStart map[int]Partition
 	// VerifyDelta cross-checks every incrementally-scored SA move against
 	// a from-scratch recomputation, panicking on any divergence. It is a
 	// correctness harness for the O(Δ) move-evaluation machinery (run in
@@ -328,6 +341,18 @@ type Solution struct {
 
 	dag   *atom.DAG
 	sched *schedule.Schedule
+	spec  map[int]atom.Partition
+}
+
+// Partitions returns the solved per-layer partition map — the state a
+// later orchestration of the same graph can warm-start from via
+// Options.WarmStart. The returned map is a copy.
+func (s *Solution) Partitions() map[int]Partition {
+	out := make(map[int]Partition, len(s.spec))
+	for id, p := range s.spec {
+		out[id] = p
+	}
+	return out
 }
 
 // Digest returns a hex SHA-256 over the solution's deterministic content:
@@ -349,10 +374,28 @@ func (s *Solution) Digest() string {
 	return hex.EncodeToString(h.Sum(nil))
 }
 
+// SearchFunc runs the atom-generation search for OrchestrateWith. It
+// receives the workload, the engine model, the dataflow and the fully
+// assembled annealing options, and returns the search result. The
+// signature names internal types on purpose: this is the module's own
+// extension point (the serving layer injects a distributed fleet solve
+// here), not part of the stable external API.
+type SearchFunc func(g *Graph, cfg EngineConfig, df Dataflow, opt anneal.Options) (anneal.Result, error)
+
 // Orchestrate runs the full atomic-dataflow pipeline on the workload:
 // SA atom generation, atomic DAG construction, DAG scheduling, and
 // simulation with mapping + buffering.
 func Orchestrate(g *Graph, opt Options) (*Solution, error) {
+	return OrchestrateWith(g, opt, nil)
+}
+
+// OrchestrateWith is Orchestrate with the atom-generation search
+// supplied by the caller; a nil search runs the in-process anneal.SA.
+// The injected search must honor the annealing options it is handed —
+// in particular the determinism contract: for a fixed (graph, hardware,
+// options) tuple it must return the same result anneal.SA would, or
+// solution digests stop being a pure function of the request.
+func OrchestrateWith(g *Graph, opt Options, search SearchFunc) (*Solution, error) {
 	if g == nil {
 		return nil, fmt.Errorf("atomicflow: nil graph")
 	}
@@ -391,18 +434,28 @@ func Orchestrate(g *Graph, opt Options) (*Solution, error) {
 		}
 	}
 	start := time.Now()
-	res := anneal.SA(g, hw.Engine, hw.Dataflow, anneal.Options{
+	aopt := anneal.Options{
 		MaxIters:       opt.SAIters,
 		Seed:           opt.Seed,
 		Chains:         opt.Chains,
 		MaxTilesPerLay: opt.MaxTilesPerLayer,
 		VerifyDelta:    opt.VerifyDelta,
 		Surrogate:      surModel,
+		WarmStart:      opt.WarmStart,
 		Oracle:         hw.Oracle,
 		Metrics:        hw.Metrics,
 		Progress:       opt.Progress,
 		Ctx:            ctx,
-	})
+	}
+	var res anneal.Result
+	if search != nil {
+		var err error
+		if res, err = search(g, hw.Engine, hw.Dataflow, aopt); err != nil {
+			return nil, err
+		}
+	} else {
+		res = anneal.SA(g, hw.Engine, hw.Dataflow, aopt)
+	}
 	// SA returns its best-so-far state on cancellation; surface the
 	// abandonment as an error before burning time on the later stages.
 	if err := ctx.Err(); err != nil {
@@ -467,6 +520,7 @@ func Orchestrate(g *Graph, opt Options) (*Solution, error) {
 		Metrics:        snap,
 		dag:            d,
 		sched:          s,
+		spec:           res.Spec,
 	}, nil
 }
 

@@ -9,9 +9,17 @@
 // sparklines, session history, and an SSE event stream — is embedded at
 // /debug/dash.
 //
+// With -fleet-listen the server also acts as a solve-fleet coordinator:
+// adworker processes dial in over TCP and each runs a shard of the
+// annealing chain portfolio, with results bit-identical to the
+// in-process search. With -store DIR finished solves persist across
+// restarts (exact replay for repeated requests) and -warm-start seeds
+// new searches from prior solutions of the same graph.
+//
 // Usage:
 //
-//	adserve -addr :8080
+//	adserve -addr :8080 -fleet-listen :9090 -store /var/lib/adserve
+//	adworker -coordinator localhost:9090 &
 //	curl -s localhost:8080/solve -d '{"model":"resnet50","sa_iters":200}'
 //	curl -s localhost:8080/healthz
 //	curl -s localhost:8080/metrics
@@ -22,13 +30,17 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
+	"github.com/atomic-dataflow/atomicflow/internal/fleet"
+	"github.com/atomic-dataflow/atomicflow/internal/obs"
 	"github.com/atomic-dataflow/atomicflow/internal/serve"
+	"github.com/atomic-dataflow/atomicflow/internal/store"
 )
 
 func main() {
@@ -42,18 +54,49 @@ func main() {
 		verify  = flag.Bool("verify-delta", false, "cross-check every incremental SA move against a full recomputation on all requests (correctness harness; slower)")
 		surr    = flag.Bool("surrogate", false, "default surrogate mode for requests that omit the field (participates in the cache key)")
 		drain   = flag.Duration("drain", 30*time.Second, "graceful-shutdown drain budget on SIGINT/SIGTERM")
+
+		fleetListen = flag.String("fleet-listen", "", "TCP address to accept adworker connections on (empty = no fleet; all solves run in-process)")
+		storeDir    = flag.String("store", "", "directory for the persistent solution store (empty = no persistence)")
+		warm        = flag.Bool("warm-start", false, "default warm-start mode for requests that omit the field (participates in the cache key; needs -store)")
 	)
 	flag.Parse()
 
-	srv := serve.New(serve.Config{
+	reg := obs.New()
+	cfg := serve.Config{
 		Workers:          *workers,
 		QueueDepth:       *queue,
 		CacheEntries:     *cache,
 		RequestTimeout:   *timeout,
 		DefaultChains:    *chains,
 		DefaultSurrogate: *surr,
+		DefaultWarmStart: *warm,
 		VerifyDelta:      *verify,
-	})
+		Metrics:          reg,
+	}
+	if *storeDir != "" {
+		st, err := store.Open(*storeDir)
+		if err != nil {
+			fatal(err)
+		}
+		cfg.Store = st
+		fmt.Fprintf(os.Stderr, "adserve: store %s (%d records)\n", *storeDir, st.Len())
+	}
+	var co *fleet.Coordinator
+	if *fleetListen != "" {
+		ln, err := net.Listen("tcp", *fleetListen)
+		if err != nil {
+			fatal(err)
+		}
+		co = fleet.NewCoordinator(fleet.Options{Metrics: reg})
+		go func() {
+			if err := co.Serve(ln); err != nil {
+				fmt.Fprintf(os.Stderr, "adserve: fleet listener: %v\n", err)
+			}
+		}()
+		cfg.Fleet = co
+		fmt.Fprintf(os.Stderr, "adserve: fleet coordinator on %s\n", *fleetListen)
+	}
+	srv := serve.New(cfg)
 	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
 
 	errc := make(chan error, 1)
@@ -76,6 +119,9 @@ func main() {
 		}
 		if err := httpSrv.Shutdown(ctx); err != nil {
 			fmt.Fprintf(os.Stderr, "adserve: http shutdown: %v\n", err)
+		}
+		if co != nil {
+			co.Close()
 		}
 	}
 }

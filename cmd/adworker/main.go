@@ -1,0 +1,48 @@
+// Command adworker runs one solve-fleet worker: it dials an adserve
+// coordinator (started with -fleet-listen), runs the shard of annealing
+// chains the coordinator assigns it, and exchanges best states at the
+// portfolio's deterministic barriers. Workers are stateless between
+// solves — kill one mid-solve and the coordinator degrades the
+// portfolio to the survivors; restart it and it rejoins for the next
+// solve. The process reconnects with backoff until interrupted.
+//
+// Usage:
+//
+//	adworker -coordinator localhost:9090
+//	adworker -coordinator localhost:9090 -name rack3-slot7 -v
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"github.com/atomic-dataflow/atomicflow/internal/fleet"
+)
+
+func main() {
+	var (
+		addr    = flag.String("coordinator", "localhost:9090", "coordinator fleet address (adserve -fleet-listen)")
+		name    = flag.String("name", "", "worker name advertised in the handshake (default: coordinator-assigned)")
+		verbose = flag.Bool("v", false, "log session lifecycle to stderr")
+	)
+	flag.Parse()
+
+	opt := fleet.WorkerOptions{Name: *name}
+	if *verbose {
+		opt.Logf = func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "adworker: "+format+"\n", args...)
+		}
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	fmt.Fprintf(os.Stderr, "adworker: dialing coordinator %s\n", *addr)
+	if err := fleet.RunWorker(ctx, *addr, opt); err != nil && ctx.Err() == nil {
+		fmt.Fprintln(os.Stderr, "adworker:", err)
+		os.Exit(1)
+	}
+}

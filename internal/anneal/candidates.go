@@ -174,6 +174,10 @@ func genCandidates(l *graph.Layer, cfg engine.Config, df engine.Dataflow, opt Op
 			}
 		}
 	}
+	// Warm-started searches narrow the enumeration to a window around the
+	// prior solution's partition before any oracle evaluation is spent
+	// (no-op without Options.WarmStart — see warm.go).
+	pend = warmPrune(l, opt, pend)
 	cands, deferred := evaluatePending(pend, cfg, df, opt, orc)
 	// Prefer atoms whose weight slice can actually be cached in an
 	// engine's buffer (Algorithm 3 stores weights opportunistically, but

@@ -1,0 +1,299 @@
+package anneal
+
+import (
+	"fmt"
+	"slices"
+
+	"github.com/atomic-dataflow/atomicflow/internal/engine"
+	"github.com/atomic-dataflow/atomicflow/internal/graph"
+)
+
+// This file is the distributed face of the search portfolio: a Shard is
+// the subset of a portfolio's chains one fleet worker owns, exposed as
+// the exact primitives internal/fleet's coordinator needs to replicate
+// portfolioSA's barrier loop across processes.
+//
+// The determinism argument extends portfolioSA's (see portfolio.go):
+//
+//   - A chain's trajectory is a pure function of (graph, hardware,
+//     Options, chain index). newSearch is itself a pure function of its
+//     inputs when Options.Surrogate is nil — candidate generation,
+//     shape dedup and the delta index do not depend on scheduling — so
+//     two processes that decode the same graph and options build
+//     bit-identical candidate spaces, and chainSeed gives shard-resident
+//     chains the same seeds they would have had in-process.
+//   - Only scalars and choice vectors cross a barrier. A chain's state
+//     is (choice []int, accum), and the accumulators are exact integer
+//     sums rebuildable from the choice vector alone (accumOf), so
+//     shipping choices over a wire and rebuilding loses nothing.
+//     Energies travel as float64 and Go's JSON encoding round-trips
+//     float64 exactly (shortest-representation encoding).
+//   - The coordinator replays portfolioSA's exchange fold verbatim:
+//     global best = lowest BestE with ties to the lowest chain index,
+//     adoption exactly when the global best energy undercuts a chain's
+//     current energy. Adopt applies the same scalar updates (and the
+//     same conditional best-state clone) the in-process barrier does.
+//   - FinishRemote is portfolioSA's tail — refine, polish, trace
+//     append, finish — run on the winner's shipped closing state.
+//
+// Together: a fleet solve over any worker partition of the chain set
+// produces the same Result bytes as SA() with the same Options.
+// The GA portfolio slot has no exchangeable state and is not supported
+// here; NewShard rejects Options.PortfolioGA.
+
+// ChainStat is one chain's scalar snapshot at a segment boundary —
+// everything the coordinator's exchange fold needs, nothing more.
+type ChainStat struct {
+	Chain     int     `json:"chain"`
+	E         float64 `json:"e"`      // current accepted energy
+	S         float64 `json:"s"`      // current unified cycle
+	BestE     float64 `json:"best_e"` // best energy seen
+	BestS     float64 `json:"best_s"` // unified cycle of that best
+	Temp      float64 `json:"temp"`   // current temperature
+	Iters     int     `json:"iters"`  // chain-local iterations executed
+	Converged bool    `json:"converged"`
+	Adoptions int64   `json:"adoptions"`
+}
+
+// ChainFinal is the winning chain's closing state, shipped once at
+// reduction time: the best choice vector (the accumulators are rebuilt
+// from it exactly), its energies, and the convergence trace.
+type ChainFinal struct {
+	Chain  int       `json:"chain"`
+	Choice []int     `json:"choice"`
+	BestE  float64   `json:"best_e"`
+	BestS  float64   `json:"best_s"`
+	Trace  []float64 `json:"trace"`
+	Iters  int       `json:"iters"`
+	Temp   float64   `json:"temp"`
+}
+
+// Exported Options accessors for internal/fleet: the coordinator and
+// workers must agree on the normalized portfolio geometry, so both read
+// it through the same defaulting logic.
+
+// NumChains returns the normalized portfolio width (>= 1).
+func (o Options) NumChains() int { return o.chains() }
+
+// SegmentIters returns the chain-local iteration count between exchange
+// barriers.
+func (o Options) SegmentIters() int { return o.exchangeEvery() }
+
+// PerChainIters returns each chain's share of the iteration budget —
+// portfolioSA's ceil(MaxIters/Chains) split.
+func (o Options) PerChainIters() int {
+	k := o.chains()
+	return (o.maxIters() + k - 1) / k
+}
+
+// RunSeed returns the normalized run seed.
+func (o Options) RunSeed() int64 { return o.seed() }
+
+// ChainSeed derives chain i's RNG seed from the run seed — the same
+// splitmix64 stream portfolioSA uses, exported so remote shards seed
+// their chains identically to in-process ones.
+func ChainSeed(seed int64, i int) int64 { return chainSeed(seed, i) }
+
+// Shard is the subset of a portfolio's chains one worker owns. All
+// methods are called from a single protocol-handling goroutine;
+// RunSegment parallelizes internally exactly like portfolioSA.
+type Shard struct {
+	sctx   *search
+	opt    Options
+	m      saMetrics
+	idx    []int // owned global chain indices, ascending
+	chains []*saChain
+	byIdx  map[int]*saChain
+}
+
+// NewShard builds the candidate space and seeds the owned chains.
+// chainIdx are global portfolio indices in [0, opt.NumChains()); they
+// need not be contiguous. The shard's chains start in exactly the state
+// portfolioSA would have given them.
+func NewShard(g *graph.Graph, cfg engine.Config, df engine.Dataflow, opt Options, chainIdx []int) (*Shard, error) {
+	if opt.PortfolioGA {
+		return nil, fmt.Errorf("anneal: shard does not support the GA portfolio slot")
+	}
+	if opt.Surrogate != nil {
+		return nil, fmt.Errorf("anneal: shard does not support surrogate mode (history-dependent candidate lists cannot be replicated across processes)")
+	}
+	k := opt.chains()
+	idx := append([]int(nil), chainIdx...)
+	slices.Sort(idx)
+	for i, ci := range idx {
+		if ci < 0 || ci >= k {
+			return nil, fmt.Errorf("anneal: chain index %d out of portfolio [0,%d)", ci, k)
+		}
+		if i > 0 && idx[i-1] == ci {
+			return nil, fmt.Errorf("anneal: duplicate chain index %d", ci)
+		}
+	}
+	sh := &Shard{
+		sctx:  newSearch(g, cfg, df, opt),
+		opt:   opt,
+		m:     newSAMetrics(opt),
+		idx:   idx,
+		byIdx: make(map[int]*saChain, len(idx)),
+	}
+	for _, ci := range idx {
+		c := newChain(ci, chainSeed(opt.seed(), ci), sh.sctx, opt)
+		sh.chains = append(sh.chains, c)
+		sh.byIdx[ci] = c
+	}
+	return sh, nil
+}
+
+// Chains returns the owned global chain indices, ascending.
+func (sh *Shard) Chains() []int { return append([]int(nil), sh.idx...) }
+
+// RunSegment advances every non-converged owned chain by n iterations
+// and returns their snapshots, ordered by global chain index. The
+// parallelFor matches portfolioSA's: it changes which thread runs a
+// chain, never what the chain computes.
+func (sh *Shard) RunSegment(n int) []ChainStat {
+	parallelFor(len(sh.chains), func(i int) {
+		if !sh.chains[i].converged {
+			sh.chains[i].run(sh.sctx, sh.opt, n, sh.m)
+		}
+	})
+	stats := make([]ChainStat, len(sh.chains))
+	for i, c := range sh.chains {
+		stats[i] = ChainStat{
+			Chain: c.idx, E: c.E, S: c.S, BestE: c.bestE, BestS: c.bestS,
+			Temp: c.temp, Iters: c.iters, Converged: c.converged,
+			Adoptions: c.adoptions,
+		}
+	}
+	return stats
+}
+
+// BestChoice returns a copy of the chain's best-state choice vector —
+// what the coordinator ships to adopting chains on other shards.
+func (sh *Shard) BestChoice(chain int) ([]int, error) {
+	c, ok := sh.byIdx[chain]
+	if !ok {
+		return nil, fmt.Errorf("anneal: chain %d not on this shard", chain)
+	}
+	return append([]int(nil), c.best.choice...), nil
+}
+
+// Adopt applies one exchange-barrier adoption to an owned chain:
+// exactly portfolioSA's scalar updates, with the best-state clone
+// rebuilt from the shipped choice vector when (and only when) the
+// adopted energy undercuts the chain's best. The caller has already
+// applied the barrier's adoption condition (bestE < chain.E); choice
+// may be nil when bestE >= chain.bestE — the clone branch is dead then
+// and the vector need not cross the wire.
+func (sh *Shard) Adopt(chain int, bestE, bestS float64, choice []int) error {
+	c, ok := sh.byIdx[chain]
+	if !ok {
+		return fmt.Errorf("anneal: chain %d not on this shard", chain)
+	}
+	c.E, c.S = bestE, bestS
+	c.lenAbs = c.S * sh.opt.lenFrac()
+	if c.E < c.bestE {
+		if choice == nil {
+			return fmt.Errorf("anneal: adoption for chain %d improves its best but carries no state", chain)
+		}
+		c.best, c.bestE, c.bestS = sh.stateOf(choice), c.E, c.S
+	}
+	c.adoptions++
+	return nil
+}
+
+// Final returns the chain's closing state for the portfolio reduction.
+func (sh *Shard) Final(chain int) (ChainFinal, error) {
+	c, ok := sh.byIdx[chain]
+	if !ok {
+		return ChainFinal{}, fmt.Errorf("anneal: chain %d not on this shard", chain)
+	}
+	return ChainFinal{
+		Chain: c.idx, Choice: append([]int(nil), c.best.choice...),
+		BestE: c.bestE, BestS: c.bestS,
+		Trace: append([]float64(nil), c.trace...),
+		Iters: c.iters, Temp: c.temp,
+	}, nil
+}
+
+// stateOf materializes a state from a shipped choice vector, rebuilding
+// the exact integer accumulators (accumOf) so the result is
+// bit-identical to the state the vector was copied from.
+func (sh *Shard) stateOf(choice []int) state {
+	return sh.sctx.stateOf(choice)
+}
+
+func (s *search) stateOf(choice []int) state {
+	st := state{choice: append([]int(nil), choice...)}
+	st.acc = s.accumOf(st)
+	return st
+}
+
+// ValidChoice reports whether a shipped choice vector indexes this
+// shard's candidate lists — the protocol-level sanity check before a
+// vector from the wire reaches stateOf.
+func (sh *Shard) ValidChoice(choice []int) error {
+	if len(choice) != len(sh.sctx.all) {
+		return fmt.Errorf("anneal: choice length %d, want %d", len(choice), len(sh.sctx.all))
+	}
+	for i, c := range choice {
+		if c < 0 || c >= len(sh.sctx.lcAt[i].cands) {
+			return fmt.Errorf("anneal: choice[%d] = %d out of %d candidates", i, c, len(sh.sctx.lcAt[i].cands))
+		}
+	}
+	return nil
+}
+
+// FinishRemote is portfolioSA's tail, run by the coordinator on the
+// winning chain's shipped closing state: the same refine + polish +
+// trace-append + finish sequence, over a candidate space rebuilt from
+// the same (graph, hardware, options) tuple the workers used — so a
+// fleet solve's Result is bit-identical to the in-process portfolio's.
+// opt here is the coordinator's full Options (Oracle, Metrics, Ctx and
+// Progress intact); only the wire-clean subset needs to have matched
+// what the workers ran with. closing, when non-empty, holds every
+// surviving chain's last barrier snapshot and feeds the final Progress
+// batch exactly like portfolioSA's — the winner's slot carries the
+// post-polish energies.
+func FinishRemote(g *graph.Graph, cfg engine.Config, df engine.Dataflow, opt Options, fin ChainFinal, closing []ChainStat) (Result, error) {
+	if opt.Surrogate != nil {
+		return Result{}, fmt.Errorf("anneal: FinishRemote does not support surrogate mode")
+	}
+	sctx := newSearch(g, cfg, df, opt)
+	if len(fin.Choice) != len(sctx.all) {
+		return Result{}, fmt.Errorf("anneal: final choice length %d, want %d", len(fin.Choice), len(sctx.all))
+	}
+	for i, c := range fin.Choice {
+		if c < 0 || c >= len(sctx.lcAt[i].cands) {
+			return Result{}, fmt.Errorf("anneal: final choice[%d] = %d out of %d candidates", i, c, len(sctx.lcAt[i].cands))
+		}
+	}
+	m := newSAMetrics(opt)
+	best := sctx.stateOf(fin.Choice)
+	bestE, bestS := fin.BestE, fin.BestS
+	trace := append([]float64(nil), fin.Trace...)
+
+	best = sctx.refine(best, bestS)
+	best, bestE, bestS = sctx.polish(opt, best, bestE, bestS)
+	if n := len(trace); n > 0 && bestE < trace[n-1] {
+		trace = append(trace, bestE)
+	}
+	if opt.Progress != nil && len(closing) > 0 {
+		samples := make([]Sample, 0, len(closing))
+		for _, st := range closing {
+			s := Sample{
+				Chain: st.Chain, Iters: st.Iters, Temp: st.Temp,
+				BestE: st.BestE, BestS: st.BestS, Converged: st.Converged,
+				Final: true,
+			}
+			if st.Chain == fin.Chain {
+				s.BestE, s.BestS = bestE, bestS
+			}
+			samples = append(samples, s)
+		}
+		opt.Progress(samples)
+	}
+	m.tempFinal.Set(fin.Temp)
+	res := sctx.finish(best, bestE, bestS, trace, fin.Iters)
+	m.finalCV.Set(res.FinalCV)
+	return res, nil
+}

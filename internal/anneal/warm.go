@@ -1,0 +1,141 @@
+package anneal
+
+import (
+	"github.com/atomic-dataflow/atomicflow/internal/atom"
+	"github.com/atomic-dataflow/atomicflow/internal/graph"
+)
+
+// This file is the warm-start path: seeding a search from a prior
+// solution of the same graph (typically retrieved from the serving
+// layer's persistent store for a different hardware spec) instead of a
+// cold random draw, and pruning candidate enumeration to a window
+// around the prior partitions so the exact cost oracle is consulted
+// far less often. Both are deterministic functions of
+// (graph, hardware, Options) — Options.WarmStart is just more input —
+// and both are no-ops when WarmStart is empty, so the default path and
+// every pinned digest are untouched.
+
+const (
+	// warmMinPend gates enumeration pruning: below this many feasible
+	// partitions the window would save almost nothing.
+	warmMinPend = 16
+	// warmKeepMin is the floor on a pruned list; windows that would cut
+	// below it are discarded and the full list evaluated.
+	warmKeepMin = 6
+	// warmExplore keeps every N-th feasible partition in enumeration
+	// order regardless of the window, bounding the damage of a warm
+	// partition that is wrong for the new hardware.
+	warmExplore = 8
+	// warmRatio bounds each partition dimension to within this factor of
+	// the warm partition's extent (in either direction).
+	warmRatio = 2
+)
+
+// warmPrune applies the warm-start candidate window to one layer's
+// feasible partitions: keep those within warmRatio per dimension of the
+// prior solution's partition for this layer, plus an every-N-th
+// exploration floor. Layers absent from the warm map (and short lists)
+// are untouched. Shape-identical layers share candidate lists (see
+// newSearch), so the window of a group's first-occurrence layer governs
+// the whole group — deterministic, since first occurrence is graph
+// order.
+func warmPrune(l *graph.Layer, opt Options, pend []pendingCand) []pendingCand {
+	if len(opt.WarmStart) == 0 || len(pend) < warmMinPend {
+		return pend
+	}
+	w, ok := opt.WarmStart[l.ID]
+	if !ok {
+		return pend
+	}
+	kept := make([]pendingCand, 0, len(pend)/2)
+	for i := range pend {
+		if i%warmExplore == 0 || withinWarmWindow(pend[i].part, w) {
+			kept = append(kept, pend[i])
+		}
+	}
+	if len(kept) < warmKeepMin {
+		return pend
+	}
+	return kept
+}
+
+func withinWarmWindow(p, w atom.Partition) bool {
+	return ratioOK(p.Hp, w.Hp) && ratioOK(p.Wp, w.Wp) && ratioOK(p.Cop, w.Cop)
+}
+
+func ratioOK(a, b int) bool {
+	if a < 1 || b < 1 {
+		return false
+	}
+	if a < b {
+		a, b = b, a
+	}
+	return a <= warmRatio*b
+}
+
+// warmState builds chain 0's initial state from the warm partitions:
+// every layer present in the map takes its nearest candidate (exact
+// partition match when the hardware still admits it), and the remainder
+// target the matched layers' mean cycle through the ordinary pick —
+// so unmatched layers land where the warm solution's balance point is,
+// not at a random draw. Entirely deterministic; the chain's RNG is not
+// consumed, which is fine because warm start is its own search mode,
+// not a replay of the cold trajectory.
+func (s *search) warmState(warm map[int]atom.Partition) state {
+	st := state{choice: make([]int, len(s.all)), acc: accum{n: s.nOrder}}
+	matched := make([]bool, len(s.all))
+	var sum float64
+	var n int
+	for i, lid := range s.all {
+		p, ok := warm[lid]
+		if !ok {
+			continue
+		}
+		c := s.lcAt[i].nearestPart(p)
+		st.choice[i] = c
+		matched[i] = true
+		if i < s.nOrder {
+			sum += float64(s.lcAt[i].cands[c].cycles)
+			n++
+		}
+	}
+	target := int64(1)
+	if n > 0 {
+		target = targetOf(sum / float64(n))
+	}
+	for i := range s.all {
+		if !matched[i] {
+			st.choice[i] = s.lcAt[i].pick(target)
+		}
+	}
+	for i := 0; i < s.nOrder; i++ {
+		st.acc.add(s.lcAt[i].cands[st.choice[i]].cycles)
+	}
+	return st
+}
+
+// nearestPart returns the candidate whose partition is closest to p: an
+// exact match when one exists, otherwise minimum L1 distance over
+// (Hp, Wp, Cop) with ties broken by lowest index — deterministic for
+// any candidate ordering.
+func (lc *layerCands) nearestPart(p atom.Partition) int {
+	best, bestD := 0, int64(-1)
+	for j := range lc.cands {
+		q := lc.cands[j].part
+		if q == p {
+			return j
+		}
+		d := absInt(q.Hp-p.Hp) + absInt(q.Wp-p.Wp) + absInt(q.Cop-p.Cop)
+		if bestD < 0 || d < bestD {
+			best, bestD = j, d
+		}
+	}
+	return best
+}
+
+func absInt(x int) int64 {
+	if x < 0 {
+		return int64(-x)
+	}
+	return int64(x)
+}

@@ -1,0 +1,878 @@
+package fleet
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"slices"
+	"sort"
+	"sync"
+	"time"
+
+	"github.com/atomic-dataflow/atomicflow/internal/anneal"
+	"github.com/atomic-dataflow/atomicflow/internal/engine"
+	"github.com/atomic-dataflow/atomicflow/internal/graph"
+	"github.com/atomic-dataflow/atomicflow/internal/modelio"
+	"github.com/atomic-dataflow/atomicflow/internal/obs"
+)
+
+// The coordinator replays portfolioSA's barrier loop over the wire (see
+// internal/anneal/shard.go for the determinism argument). Its failure
+// model, in increasing severity:
+//
+//   - Transient transport trouble (drop, delay, duplicate): every
+//     request is retried with exponential backoff under the same seq;
+//     the worker's reply cache makes delivery at-most-once, so retries
+//     never re-run a segment.
+//   - Worker lost during setup (before any chain has run): the
+//     coordinator reassigns chains over the surviving workers and
+//     restarts the SolveStart round. Nothing has executed, so the solve
+//     stays bit-identical to the single-process portfolio.
+//   - Worker lost mid-solve: its chains are dropped from the portfolio
+//     and the solve degrades to the survivors. The result is a valid
+//     solve of a narrower portfolio — correct, deterministic given the
+//     loss point, but not pinned to the full-width digests.
+//   - All workers lost: ErrNoWorkers; the caller (internal/serve) falls
+//     back to the in-process portfolio, which is bit-identical to the
+//     undegraded fleet result.
+type Coordinator struct {
+	opt Options
+
+	mu      sync.Mutex
+	workers map[string]*workerConn
+	nextID  int
+	ln      net.Listener
+	closed  bool
+	stop    chan struct{}
+	wg      sync.WaitGroup
+
+	// solveMu serializes distributed solves: the protocol is lockstep
+	// per connection and shards are per-solve state, so one solve runs
+	// at a time and callers finding the fleet busy solve locally.
+	solveMu sync.Mutex
+
+	mWorkers  *obs.Gauge
+	mSolves   *obs.Counter
+	mRetries  *obs.Counter
+	mDegraded *obs.Counter
+	mLost     *obs.Counter
+}
+
+// Options configures a Coordinator. The zero value is production-ready.
+type Options struct {
+	// Heartbeat is the idle-worker ping interval (default 5s; < 0
+	// disables the reaper — tests that inject long delays use this).
+	Heartbeat time.Duration
+	// SetupTimeout bounds one SolveStart round trip — it covers
+	// candidate-space construction on the worker (default 2m).
+	SetupTimeout time.Duration
+	// SegmentTimeout bounds one RunSegment round trip (default 2m).
+	SegmentTimeout time.Duration
+	// ExchangeTimeout bounds the small barrier RPCs — state fetch,
+	// adopt, final, release, ping (default 15s).
+	ExchangeTimeout time.Duration
+	// Attempts is the per-request delivery attempt count (default 3).
+	Attempts int
+	// RetryBase is the first retry's backoff, doubled per attempt
+	// (default 25ms).
+	RetryBase time.Duration
+	// Metrics, when non-nil, receives fleet_* gauges and counters.
+	Metrics *obs.Registry
+	// OnEvent, when non-nil, receives lifecycle events (worker
+	// joined/lost, solve degraded) — the serve layer forwards them to
+	// the dashboard. Called from coordinator goroutines; must not block.
+	OnEvent func(Event)
+	// Logf, when non-nil, receives lifecycle log lines.
+	Logf func(format string, args ...any)
+}
+
+// Event is one coordinator lifecycle event.
+type Event struct {
+	Type   string // "worker_joined", "worker_lost", "solve_degraded"
+	Worker string
+	Detail string
+}
+
+func (o Options) heartbeat() time.Duration {
+	if o.Heartbeat < 0 {
+		return 0
+	}
+	if o.Heartbeat == 0 {
+		return 5 * time.Second
+	}
+	return o.Heartbeat
+}
+
+func (o Options) setupTimeout() time.Duration {
+	if o.SetupTimeout <= 0 {
+		return 2 * time.Minute
+	}
+	return o.SetupTimeout
+}
+
+func (o Options) segmentTimeout() time.Duration {
+	if o.SegmentTimeout <= 0 {
+		return 2 * time.Minute
+	}
+	return o.SegmentTimeout
+}
+
+func (o Options) exchangeTimeout() time.Duration {
+	if o.ExchangeTimeout <= 0 {
+		return 15 * time.Second
+	}
+	return o.ExchangeTimeout
+}
+
+func (o Options) attempts() int {
+	if o.Attempts <= 0 {
+		return 3
+	}
+	return o.Attempts
+}
+
+func (o Options) retryBase() time.Duration {
+	if o.RetryBase <= 0 {
+		return 25 * time.Millisecond
+	}
+	return o.RetryBase
+}
+
+// ErrNoWorkers reports that a fleet solve could not run (or finish)
+// because no workers survived. Callers fall back to the in-process
+// portfolio.
+var ErrNoWorkers = errors.New("fleet: no workers available")
+
+// ErrBusy reports that a distributed solve is already in flight; the
+// caller should solve locally rather than queue behind it.
+var ErrBusy = errors.New("fleet: a distributed solve is already running")
+
+// errWorkerLost marks a connection whose request could not be delivered
+// within the retry budget.
+var errWorkerLost = errors.New("fleet: worker lost")
+
+// workerConn is the coordinator's handle on one worker. mu serializes
+// RPCs (lockstep per connection); seq is the request counter shared
+// with the worker's dedup cache.
+type workerConn struct {
+	name string
+	t    Transport
+	mu   sync.Mutex
+	seq  uint64
+	lost bool
+}
+
+// NewCoordinator starts a coordinator (and its heartbeat reaper, unless
+// disabled). Callers feed it connections via Serve or AddWorker and
+// must Close it.
+func NewCoordinator(opt Options) *Coordinator {
+	co := &Coordinator{
+		opt:     opt,
+		workers: make(map[string]*workerConn),
+		stop:    make(chan struct{}),
+	}
+	if reg := opt.Metrics; reg != nil {
+		co.mWorkers = reg.Gauge("fleet_workers")
+		co.mSolves = reg.Counter("fleet_solves_total")
+		co.mRetries = reg.Counter("fleet_retries_total")
+		co.mDegraded = reg.Counter("fleet_degraded_chains_total")
+		co.mLost = reg.Counter("fleet_workers_lost_total")
+	}
+	if hb := opt.heartbeat(); hb > 0 {
+		co.wg.Add(1)
+		go co.reaper(hb)
+	}
+	return co
+}
+
+func (co *Coordinator) logf(format string, args ...any) {
+	if co.opt.Logf != nil {
+		co.opt.Logf(format, args...)
+	}
+}
+
+func (co *Coordinator) event(typ, worker, detail string) {
+	co.mu.Lock()
+	fn := co.opt.OnEvent
+	co.mu.Unlock()
+	if fn != nil {
+		fn(Event{Type: typ, Worker: worker, Detail: detail})
+	}
+}
+
+// SetOnEvent installs (or replaces) the lifecycle-event callback after
+// construction. The serve layer wires its dashboard this way: the
+// coordinator is built (and starts accepting workers) before the server
+// that owns the dashboard exists.
+func (co *Coordinator) SetOnEvent(fn func(Event)) {
+	co.mu.Lock()
+	co.opt.OnEvent = fn
+	co.mu.Unlock()
+}
+
+// Serve accepts worker connections until the listener is closed (by
+// Close or externally). It returns nil on clean shutdown.
+func (co *Coordinator) Serve(ln net.Listener) error {
+	co.mu.Lock()
+	if co.closed {
+		co.mu.Unlock()
+		ln.Close()
+		return errors.New("fleet: coordinator closed")
+	}
+	co.ln = ln
+	co.mu.Unlock()
+	for {
+		c, err := ln.Accept()
+		if err != nil {
+			co.mu.Lock()
+			closed := co.closed
+			co.mu.Unlock()
+			if closed {
+				return nil
+			}
+			return err
+		}
+		co.wg.Add(1)
+		go func() {
+			defer co.wg.Done()
+			if _, err := co.AddWorker(NewTransport(c)); err != nil {
+				co.logf("fleet: rejected connection from %s: %v", c.RemoteAddr(), err)
+			}
+		}()
+	}
+}
+
+// AddWorker runs the coordinator side of the handshake on t and, on
+// success, registers the worker and returns its name. The transport is
+// closed on failure. Tests use this directly to register in-memory
+// (net.Pipe or fault-injecting) transports.
+func (co *Coordinator) AddWorker(t Transport) (string, error) {
+	_ = t.SetDeadline(time.Now().Add(10 * time.Second))
+	f, err := t.ReadFrame()
+	if err != nil {
+		t.Close()
+		return "", fmt.Errorf("fleet: awaiting hello: %w", err)
+	}
+	if f.Type != MsgHello {
+		t.Close()
+		return "", fmt.Errorf("fleet: expected hello, got message type %d", f.Type)
+	}
+	var hello Hello
+	if err := json.Unmarshal(f.Payload, &hello); err != nil {
+		t.Close()
+		return "", fmt.Errorf("fleet: decoding hello: %w", err)
+	}
+	if hello.Proto != ProtocolVersion {
+		_ = t.WriteFrame(errorFrame(f.Seq, fmt.Errorf("protocol %d unsupported, coordinator speaks %d", hello.Proto, ProtocolVersion)))
+		t.Close()
+		return "", fmt.Errorf("fleet: worker speaks protocol %d, want %d", hello.Proto, ProtocolVersion)
+	}
+
+	co.mu.Lock()
+	if co.closed {
+		co.mu.Unlock()
+		t.Close()
+		return "", errors.New("fleet: coordinator closed")
+	}
+	name := hello.Name
+	if name == "" {
+		name = fmt.Sprintf("w%03d", co.nextID)
+	}
+	for {
+		if _, taken := co.workers[name]; !taken {
+			break
+		}
+		co.nextID++
+		name = fmt.Sprintf("%s-%d", hello.Name, co.nextID)
+		if hello.Name == "" {
+			name = fmt.Sprintf("w%03d", co.nextID)
+		}
+	}
+	co.nextID++
+	w := &workerConn{name: name, t: t}
+	co.workers[name] = w
+	n := len(co.workers)
+	co.mu.Unlock()
+
+	if err := t.WriteFrame(replyFrame(MsgWelcome, f.Seq, Welcome{Proto: ProtocolVersion, Name: name})); err != nil {
+		co.removeWorker(w, fmt.Sprintf("welcome failed: %v", err))
+		return "", fmt.Errorf("fleet: sending welcome: %w", err)
+	}
+	_ = t.SetDeadline(time.Time{})
+	if co.mWorkers != nil {
+		co.mWorkers.SetInt(int64(n))
+	}
+	co.logf("fleet: worker %q joined (%d total)", name, n)
+	co.event("worker_joined", name, "")
+	return name, nil
+}
+
+// WorkerNames returns the registered workers' names, sorted.
+func (co *Coordinator) WorkerNames() []string {
+	co.mu.Lock()
+	defer co.mu.Unlock()
+	names := make([]string, 0, len(co.workers))
+	for n := range co.workers {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// NumWorkers returns the registered worker count.
+func (co *Coordinator) NumWorkers() int {
+	co.mu.Lock()
+	defer co.mu.Unlock()
+	return len(co.workers)
+}
+
+// Close tears down the coordinator: stops the reaper, closes the
+// listener and every worker connection, and waits for helper
+// goroutines.
+func (co *Coordinator) Close() error {
+	co.mu.Lock()
+	if co.closed {
+		co.mu.Unlock()
+		return nil
+	}
+	co.closed = true
+	close(co.stop)
+	if co.ln != nil {
+		co.ln.Close()
+	}
+	workers := make([]*workerConn, 0, len(co.workers))
+	for _, w := range co.workers {
+		workers = append(workers, w)
+	}
+	co.workers = make(map[string]*workerConn)
+	co.mu.Unlock()
+	for _, w := range workers {
+		w.t.Close()
+	}
+	co.wg.Wait()
+	return nil
+}
+
+// removeWorker drops w from the registry and closes its transport.
+func (co *Coordinator) removeWorker(w *workerConn, reason string) {
+	co.mu.Lock()
+	cur, ok := co.workers[w.name]
+	if ok && cur == w {
+		delete(co.workers, w.name)
+	}
+	n := len(co.workers)
+	co.mu.Unlock()
+	w.t.Close()
+	if !ok || cur != w {
+		return
+	}
+	if co.mWorkers != nil {
+		co.mWorkers.SetInt(int64(n))
+	}
+	if co.mLost != nil {
+		co.mLost.Add(1)
+	}
+	co.logf("fleet: worker %q lost: %s (%d remain)", w.name, reason, n)
+	co.event("worker_lost", w.name, reason)
+}
+
+// liveWorkers snapshots the registered workers, sorted by name — the
+// deterministic order shard assignment is computed over.
+func (co *Coordinator) liveWorkers() []*workerConn {
+	co.mu.Lock()
+	defer co.mu.Unlock()
+	ws := make([]*workerConn, 0, len(co.workers))
+	for _, w := range co.workers {
+		ws = append(ws, w)
+	}
+	slices.SortFunc(ws, func(a, b *workerConn) int {
+		switch {
+		case a.name < b.name:
+			return -1
+		case a.name > b.name:
+			return 1
+		}
+		return 0
+	})
+	return ws
+}
+
+// reaper pings idle workers every interval and retires the unreachable.
+// A worker busy with an RPC (its lock is held) is skipped — segment
+// compute time must not count against liveness.
+func (co *Coordinator) reaper(every time.Duration) {
+	defer co.wg.Done()
+	tick := time.NewTicker(every)
+	defer tick.Stop()
+	for {
+		select {
+		case <-co.stop:
+			return
+		case <-tick.C:
+		}
+		for _, w := range co.liveWorkers() {
+			if !w.mu.TryLock() {
+				continue // mid-RPC: provably alive or about to be retired by the RPC path
+			}
+			err := func() error {
+				defer w.mu.Unlock()
+				if w.lost {
+					return errWorkerLost
+				}
+				w.seq++
+				f := Frame{Type: MsgPing, Seq: w.seq}
+				_ = w.t.SetDeadline(time.Now().Add(every))
+				if err := w.t.WriteFrame(f); err != nil {
+					w.lost = true
+					return err
+				}
+				for {
+					rf, err := w.t.ReadFrame()
+					if err != nil {
+						w.lost = true
+						return err
+					}
+					if rf.Seq < f.Seq {
+						continue // stale reply from an earlier request
+					}
+					if rf.Seq > f.Seq {
+						w.lost = true
+						return fmt.Errorf("fleet: reply seq %d ahead of ping %d", rf.Seq, f.Seq)
+					}
+					return nil
+				}
+			}()
+			if err != nil {
+				co.removeWorker(w, fmt.Sprintf("heartbeat: %v", err))
+			}
+		}
+	}
+}
+
+// rpc delivers one request to w and returns its reply, retrying with
+// exponential backoff under the same seq (the worker dedups). A nil
+// error with a MsgError frame is an application failure — the worker is
+// healthy but refused; any transport-level failure marks the worker
+// lost and the caller must removeWorker it.
+func (co *Coordinator) rpc(w *workerConn, typ MsgType, payload any, timeout time.Duration) (Frame, error) {
+	body, err := json.Marshal(payload)
+	if err != nil {
+		return Frame{}, fmt.Errorf("fleet: encoding request: %w", err)
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.lost {
+		return Frame{}, errWorkerLost
+	}
+	w.seq++
+	f := Frame{Type: typ, Seq: w.seq, Payload: body}
+	var lastErr error
+	for attempt := 0; attempt < co.opt.attempts(); attempt++ {
+		if attempt > 0 {
+			time.Sleep(co.opt.retryBase() << (attempt - 1))
+			if co.mRetries != nil {
+				co.mRetries.Add(1)
+			}
+		}
+		_ = w.t.SetDeadline(time.Now().Add(timeout))
+		if err := w.t.WriteFrame(f); err != nil {
+			lastErr = err
+			continue
+		}
+		for {
+			rf, err := w.t.ReadFrame()
+			if err != nil {
+				lastErr = err
+				break // timeout or cut: next attempt resends under the same seq
+			}
+			if rf.Seq < f.Seq {
+				continue // duplicate reply to an earlier request
+			}
+			if rf.Seq > f.Seq {
+				lastErr = fmt.Errorf("fleet: reply seq %d ahead of request %d", rf.Seq, f.Seq)
+				break
+			}
+			return rf, nil
+		}
+	}
+	w.lost = true
+	if lastErr == nil {
+		lastErr = errWorkerLost
+	}
+	return Frame{}, lastErr
+}
+
+// shardPlan maps each team member to its contiguous block of global
+// chain indices: worker j of W gets chains [j*K/W, (j+1)*K/W) — the
+// same fair split for any worker count, over name-sorted workers.
+func shardPlan(team []*workerConn, k int) map[*workerConn][]int {
+	plan := make(map[*workerConn][]int, len(team))
+	w := len(team)
+	for j, wc := range team {
+		lo, hi := j*k/w, (j+1)*k/w
+		idx := make([]int, 0, hi-lo)
+		for ci := lo; ci < hi; ci++ {
+			idx = append(idx, ci)
+		}
+		plan[wc] = idx
+	}
+	return plan
+}
+
+// Solve runs one distributed portfolio solve and returns a Result
+// bit-identical to anneal.SA with the same (graph, hardware, Options) —
+// as long as no worker is lost after setup (see the failure model
+// above). opt's Oracle/Metrics/Progress/Ctx apply on the coordinator
+// side only; Surrogate and PortfolioGA are unsupported.
+func (co *Coordinator) Solve(ctx context.Context, g *graph.Graph, cfg engine.Config, df engine.Dataflow, opt anneal.Options) (anneal.Result, error) {
+	if opt.Surrogate != nil {
+		return anneal.Result{}, errors.New("fleet: surrogate mode is history-dependent and cannot be distributed")
+	}
+	if opt.PortfolioGA {
+		return anneal.Result{}, errors.New("fleet: the GA portfolio slot is not distributable")
+	}
+	if !co.solveMu.TryLock() {
+		return anneal.Result{}, ErrBusy
+	}
+	defer co.solveMu.Unlock()
+	if co.mSolves != nil {
+		co.mSolves.Add(1)
+	}
+
+	graphDoc, err := modelio.Encode(g)
+	if err != nil {
+		return anneal.Result{}, fmt.Errorf("fleet: encoding graph: %w", err)
+	}
+	k := opt.NumChains()
+	base := SolveSpec{Graph: graphDoc, Engine: cfg, Dataflow: df, Opt: wireOptionsOf(opt)}
+
+	// Setup: assign shards and ship specs. A delivery failure here costs
+	// nothing — no chain has run — so the round restarts over the
+	// survivors until a whole team is ready (bit-identical reassignment).
+	var team []*workerConn
+	var plan map[*workerConn][]int
+	for {
+		if err := ctx.Err(); err != nil {
+			return anneal.Result{}, err
+		}
+		ws := co.liveWorkers()
+		if len(ws) == 0 {
+			return anneal.Result{}, ErrNoWorkers
+		}
+		if len(ws) > k {
+			ws = ws[:k]
+		}
+		plan = shardPlan(ws, k)
+		type setupRes struct {
+			w   *workerConn
+			f   Frame
+			err error
+		}
+		results := make([]setupRes, len(ws))
+		var wg sync.WaitGroup
+		for i, w := range ws {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				spec := base
+				spec.Chains = plan[w]
+				f, err := co.rpc(w, MsgSolveStart, SolveStart{Spec: spec}, co.opt.setupTimeout())
+				results[i] = setupRes{w: w, f: f, err: err}
+			}()
+		}
+		wg.Wait()
+		ok := true
+		for _, r := range results {
+			switch {
+			case r.err != nil:
+				co.removeWorker(r.w, fmt.Sprintf("solve setup: %v", r.err))
+				ok = false
+			case r.f.Type == MsgError:
+				// Deterministic refusal (bad spec): every worker would
+				// refuse identically, so fail the solve.
+				co.releaseTeam(ws)
+				return anneal.Result{}, decodeErr(r.f)
+			}
+		}
+		if ok {
+			team = ws
+			break
+		}
+	}
+
+	// owner maps each live chain to its worker; stats holds each live
+	// chain's latest barrier snapshot.
+	owner := make(map[int]*workerConn, k)
+	for w, idx := range plan {
+		for _, ci := range idx {
+			owner[ci] = w
+		}
+	}
+	stats := make(map[int]anneal.ChainStat, k)
+
+	// dropWorker removes w from the team mid-solve and degrades the
+	// portfolio by its chains.
+	dropWorker := func(w *workerConn, reason string) {
+		co.removeWorker(w, reason)
+		dropped := 0
+		for _, ci := range plan[w] {
+			delete(owner, ci)
+			delete(stats, ci)
+			dropped++
+		}
+		team = slices.DeleteFunc(team, func(x *workerConn) bool { return x == w })
+		if co.mDegraded != nil && dropped > 0 {
+			co.mDegraded.Add(int64(dropped))
+		}
+		co.event("solve_degraded", w.name, fmt.Sprintf("dropped %d chains: %s", dropped, reason))
+	}
+
+	liveChains := func() []int {
+		ids := make([]int, 0, len(stats))
+		for ci := range stats {
+			ids = append(ids, ci)
+		}
+		sort.Ints(ids)
+		return ids
+	}
+
+	// Barrier loop — the wire image of portfolioSA's segment loop.
+	perChain := opt.PerChainIters()
+	exchanges := int64(0)
+	var solveErr error
+	for done := 0; done < perChain; {
+		n := opt.SegmentIters()
+		if done+n > perChain {
+			n = perChain - done
+		}
+		type segRes struct {
+			w   *workerConn
+			f   Frame
+			err error
+		}
+		results := make([]segRes, len(team))
+		var wg sync.WaitGroup
+		for i, w := range team {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				f, err := co.rpc(w, MsgRunSegment, RunSegment{N: n}, co.opt.segmentTimeout())
+				results[i] = segRes{w: w, f: f, err: err}
+			}()
+		}
+		wg.Wait()
+		for _, r := range results {
+			switch {
+			case r.err != nil:
+				dropWorker(r.w, fmt.Sprintf("segment: %v", r.err))
+			case r.f.Type == MsgError:
+				solveErr = decodeErr(r.f)
+			default:
+				var sd SegmentDone
+				if err := json.Unmarshal(r.f.Payload, &sd); err != nil {
+					dropWorker(r.w, fmt.Sprintf("segment reply: %v", err))
+					continue
+				}
+				for _, st := range sd.Stats {
+					if _, live := owner[st.Chain]; live {
+						stats[st.Chain] = st
+					}
+				}
+			}
+		}
+		if solveErr != nil {
+			co.releaseTeam(team)
+			return anneal.Result{}, solveErr
+		}
+		if len(stats) == 0 {
+			return anneal.Result{}, ErrNoWorkers
+		}
+		done += n
+		if (opt.Ctx != nil && opt.Ctx.Err() != nil) || ctx.Err() != nil || done >= perChain {
+			break
+		}
+		anyConverged := false
+		for _, st := range stats {
+			if st.Converged {
+				anyConverged = true
+			}
+		}
+		if anyConverged {
+			break
+		}
+
+		// Exchange barrier: the fold portfolioSA runs in-process —
+		// global best by (lowest BestE, lowest chain index), adoption
+		// wherever it undercuts a chain's current energy. Losing the
+		// best chain's owner while fetching its state restarts the fold
+		// over the survivors.
+		adopted := make(map[int]bool)
+		for {
+			ids := liveChains()
+			if len(ids) == 0 {
+				return anneal.Result{}, ErrNoWorkers
+			}
+			gb := ids[0]
+			for _, ci := range ids[1:] {
+				if stats[ci].BestE < stats[gb].BestE {
+					gb = ci
+				}
+			}
+			gbStat := stats[gb]
+			byWorker := make(map[*workerConn][]Adoption)
+			needState := false
+			for _, ci := range ids {
+				c := stats[ci]
+				if ci == gb || gbStat.BestE >= c.E {
+					continue
+				}
+				a := Adoption{Chain: ci, BestE: gbStat.BestE, BestS: gbStat.BestS}
+				if gbStat.BestE < c.BestE {
+					needState = true
+					a.Choice = []int{} // placeholder until fetched
+				}
+				byWorker[owner[ci]] = append(byWorker[owner[ci]], a)
+			}
+			var gbChoice []int
+			if needState {
+				w := owner[gb]
+				f, err := co.rpc(w, MsgStateReq, StateReq{Chain: gb}, co.opt.exchangeTimeout())
+				if err != nil {
+					dropWorker(w, fmt.Sprintf("state fetch: %v", err))
+					continue // refold over the survivors
+				}
+				if f.Type == MsgError {
+					co.releaseTeam(team)
+					return anneal.Result{}, decodeErr(f)
+				}
+				var st State
+				if err := json.Unmarshal(f.Payload, &st); err != nil {
+					dropWorker(w, fmt.Sprintf("state reply: %v", err))
+					continue
+				}
+				gbChoice = st.Choice
+			}
+			type adoptRes struct {
+				w   *workerConn
+				f   Frame
+				err error
+			}
+			targets := make([]*workerConn, 0, len(byWorker))
+			for w := range byWorker {
+				targets = append(targets, w)
+			}
+			results := make([]adoptRes, len(targets))
+			var wg sync.WaitGroup
+			for i, w := range targets {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					req := Adopt{Adoptions: byWorker[w]}
+					for j := range req.Adoptions {
+						if req.Adoptions[j].Choice != nil {
+							req.Adoptions[j].Choice = gbChoice
+						}
+					}
+					f, err := co.rpc(w, MsgAdopt, req, co.opt.exchangeTimeout())
+					results[i] = adoptRes{w: w, f: f, err: err}
+				}()
+			}
+			wg.Wait()
+			for _, r := range results {
+				switch {
+				case r.err != nil:
+					// The worker (and its un-adopted chains) leave the
+					// portfolio; survivors already adopted correctly.
+					dropWorker(r.w, fmt.Sprintf("adopt: %v", r.err))
+				case r.f.Type == MsgError:
+					solveErr = decodeErr(r.f)
+				default:
+					for _, a := range byWorker[r.w] {
+						adopted[a.Chain] = true
+						exchanges++
+					}
+				}
+			}
+			if solveErr != nil {
+				co.releaseTeam(team)
+				return anneal.Result{}, solveErr
+			}
+			break
+		}
+		if opt.Progress != nil {
+			ids := liveChains()
+			samples := make([]anneal.Sample, 0, len(ids))
+			for _, ci := range ids {
+				st := stats[ci]
+				samples = append(samples, anneal.Sample{
+					Chain: st.Chain, Iters: st.Iters, Temp: st.Temp,
+					BestE: st.BestE, BestS: st.BestS,
+					Adopted: adopted[ci], Converged: st.Converged,
+				})
+			}
+			opt.Progress(samples)
+		}
+	}
+
+	// Reduction: (lowest BestE, lowest index) wins; fetch its closing
+	// state, falling to the next-best chain if its owner dies first.
+	var fin anneal.ChainFinal
+	for {
+		ids := liveChains()
+		if len(ids) == 0 {
+			return anneal.Result{}, ErrNoWorkers
+		}
+		win := ids[0]
+		for _, ci := range ids[1:] {
+			if stats[ci].BestE < stats[win].BestE {
+				win = ci
+			}
+		}
+		w := owner[win]
+		f, err := co.rpc(w, MsgFinalReq, FinalReq{Chain: win}, co.opt.exchangeTimeout())
+		if err != nil {
+			dropWorker(w, fmt.Sprintf("final fetch: %v", err))
+			continue
+		}
+		if f.Type == MsgError {
+			co.releaseTeam(team)
+			return anneal.Result{}, decodeErr(f)
+		}
+		var fr Final
+		if err := json.Unmarshal(f.Payload, &fr); err != nil {
+			dropWorker(w, fmt.Sprintf("final reply: %v", err))
+			continue
+		}
+		fin = fr.Final
+		break
+	}
+	co.releaseTeam(team)
+
+	closing := make([]anneal.ChainStat, 0, len(stats))
+	for _, ci := range liveChains() {
+		closing = append(closing, stats[ci])
+	}
+	if reg := opt.Metrics; reg != nil {
+		reg.Gauge("anneal_chains").SetInt(int64(k))
+		reg.Counter("anneal_exchanges_total").Add(exchanges)
+	}
+	return anneal.FinishRemote(g, cfg, df, opt, fin, closing)
+}
+
+// releaseTeam best-effort drops every team member's shard so the next
+// solve starts clean even if this one aborted.
+func (co *Coordinator) releaseTeam(team []*workerConn) {
+	var wg sync.WaitGroup
+	for _, w := range team {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := co.rpc(w, MsgRelease, Ack{}, co.opt.exchangeTimeout()); err != nil {
+				co.removeWorker(w, fmt.Sprintf("release: %v", err))
+			}
+		}()
+	}
+	wg.Wait()
+}

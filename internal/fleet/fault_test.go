@@ -1,0 +1,337 @@
+package fleet
+
+import (
+	"context"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/atomic-dataflow/atomicflow/internal/anneal"
+	"github.com/atomic-dataflow/atomicflow/internal/engine"
+	"github.com/atomic-dataflow/atomicflow/internal/models"
+)
+
+// The fault-injection suite: a flaky Transport double drops, delays,
+// duplicates and mid-frame-cuts traffic, and the tests pin the
+// coordinator's three survival behaviours — same-seq retry with
+// at-most-once worker execution, setup-phase reassignment that stays
+// bit-identical, and mid-solve degradation to the surviving chains.
+// Every test runs the goroutine-leak accounting from fleet_test.go.
+
+type faultKind int
+
+const (
+	faultNone  faultKind = iota
+	faultDrop            // swallow the frame
+	faultDup             // deliver it twice
+	faultDelay           // sleep past the peer's deadline, then deliver
+	faultCut             // write half the encoded frame, then sever the conn
+)
+
+// flakyTransport wraps the real codec over a net.Conn and misdelivers
+// chosen writes. Frames are counted per direction from 0 (the handshake
+// frame is write 0 on both sides). It implements Transport, so either
+// side of a connection can be made flaky without touching protocol
+// code.
+// Deliveries go through a serializing mutex so delayed and duplicated
+// frames (delivered from spawned goroutines — net.Pipe is unbuffered,
+// so a synchronous sleep or double-write would wedge the event loop the
+// way no buffered network does) never interleave mid-frame; they may
+// reorder against later traffic, which is exactly what the seq
+// discipline has to absorb.
+type flakyTransport struct {
+	c     net.Conn
+	inner Transport
+	delay time.Duration
+
+	mu     sync.Mutex
+	n      int
+	faults map[int]faultKind
+	every  int       // every-th write gets everyKind (0 = table only)
+	kind   faultKind // used with every
+
+	wmu sync.Mutex // serializes frame deliveries
+}
+
+func newFlaky(c net.Conn, faults map[int]faultKind) *flakyTransport {
+	return &flakyTransport{c: c, inner: NewTransport(c), faults: faults, delay: 300 * time.Millisecond}
+}
+
+func newFlakyEvery(c net.Conn, every int, kind faultKind) *flakyTransport {
+	return &flakyTransport{c: c, inner: NewTransport(c), every: every, kind: kind, delay: 300 * time.Millisecond}
+}
+
+func (f *flakyTransport) pick() faultKind {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	k := f.faults[f.n]
+	if k == faultNone && f.every > 0 && f.n > 0 && f.n%f.every == 0 {
+		k = f.kind
+	}
+	f.n++
+	return k
+}
+
+func (f *flakyTransport) deliver(fr Frame) error {
+	f.wmu.Lock()
+	defer f.wmu.Unlock()
+	return f.inner.WriteFrame(fr)
+}
+
+func (f *flakyTransport) WriteFrame(fr Frame) error {
+	switch f.pick() {
+	case faultDrop:
+		return nil
+	case faultDup:
+		if err := f.deliver(fr); err != nil {
+			return err
+		}
+		go f.deliver(fr)
+		return nil
+	case faultDelay:
+		go func() {
+			time.Sleep(f.delay)
+			f.deliver(fr)
+		}()
+		return nil
+	case faultCut:
+		buf, err := EncodeFrame(nil, fr)
+		if err != nil {
+			return err
+		}
+		f.wmu.Lock()
+		f.c.Write(buf[:len(buf)/2])
+		f.c.Close()
+		f.wmu.Unlock()
+		return nil
+	default:
+		return f.deliver(fr)
+	}
+}
+
+func (f *flakyTransport) ReadFrame() (Frame, error)     { return f.inner.ReadFrame() }
+func (f *flakyTransport) SetDeadline(d time.Time) error { return f.inner.SetDeadline(d) }
+func (f *flakyTransport) Close() error                  { return f.inner.Close() }
+
+// faultOptions keeps retry cadence fast so delay/timeout tests stay
+// quick: 100ms per attempt, 3 attempts, 10ms first backoff.
+func faultOptions() Options {
+	return Options{
+		Heartbeat:       -1,
+		SetupTimeout:    2 * time.Second,
+		SegmentTimeout:  2 * time.Second,
+		ExchangeTimeout: 500 * time.Millisecond,
+		RetryBase:       10 * time.Millisecond,
+	}
+}
+
+// TestFaultDroppedRequestsRetried: every 3rd coordinator→worker frame
+// vanishes; same-seq retries push the solve through and the result
+// stays bit-identical to the clean portfolio.
+func TestFaultDroppedRequestsRetried(t *testing.T) {
+	checkGoroutines(t)
+	g := models.MustBuild("tinyconv")
+	opt := testOptions(7)
+	want := resultJSON(t, anneal.SA(g, engine.Default(), engine.KCPartition, opt))
+	co := NewCoordinator(faultOptions())
+	t.Cleanup(func() { co.Close() })
+	pipeWorker(t, co, "w0", func(c net.Conn) Transport { return newFlakyEvery(c, 3, faultDrop) }, nil)
+	pipeWorker(t, co, "w1", nil, nil)
+	if got := resultJSON(t, fleetSolve(t, co, g, opt)); got != want {
+		t.Errorf("result diverges under dropped requests")
+	}
+}
+
+// TestFaultDroppedRepliesRetried: the worker's replies get lost
+// instead; the retry re-asks under the same seq, the worker answers
+// from its reply cache without re-running the segment, and the result
+// is still bit-identical.
+func TestFaultDroppedRepliesRetried(t *testing.T) {
+	checkGoroutines(t)
+	g := models.MustBuild("tinyconv")
+	opt := testOptions(7)
+	want := resultJSON(t, anneal.SA(g, engine.Default(), engine.KCPartition, opt))
+	co := NewCoordinator(faultOptions())
+	t.Cleanup(func() { co.Close() })
+	pipeWorker(t, co, "w0", nil, func(c net.Conn) Transport { return newFlakyEvery(c, 3, faultDrop) })
+	pipeWorker(t, co, "w1", nil, nil)
+	if got := resultJSON(t, fleetSolve(t, co, g, opt)); got != want {
+		t.Errorf("result diverges under dropped replies (segment re-executed?)")
+	}
+}
+
+// TestFaultDuplicatedFrames: both directions duplicate aggressively;
+// seq dedup on the worker and stale-reply skipping on the coordinator
+// keep execution at-most-once and the result bit-identical.
+func TestFaultDuplicatedFrames(t *testing.T) {
+	checkGoroutines(t)
+	g := models.MustBuild("tinyconv")
+	opt := testOptions(9)
+	want := resultJSON(t, anneal.SA(g, engine.Default(), engine.KCPartition, opt))
+	co := NewCoordinator(faultOptions())
+	t.Cleanup(func() { co.Close() })
+	pipeWorker(t, co, "w0",
+		func(c net.Conn) Transport { return newFlakyEvery(c, 2, faultDup) },
+		nil)
+	pipeWorker(t, co, "w1",
+		nil,
+		func(c net.Conn) Transport { return newFlakyEvery(c, 2, faultDup) })
+	if got := resultJSON(t, fleetSolve(t, co, g, opt)); got != want {
+		t.Errorf("result diverges under duplicated frames")
+	}
+}
+
+// TestFaultDelayedReply: one reply arrives after the coordinator's
+// deadline. The retry (same seq) is answered from the worker's cache;
+// the late original is skipped as a stale duplicate; the segment ran
+// once.
+func TestFaultDelayedReply(t *testing.T) {
+	checkGoroutines(t)
+	g := models.MustBuild("tinyconv")
+	opt := testOptions(13)
+	want := resultJSON(t, anneal.SA(g, engine.Default(), engine.KCPartition, opt))
+	fo := faultOptions()
+	fo.SetupTimeout = 150 * time.Millisecond
+	fo.SegmentTimeout = 150 * time.Millisecond
+	co := NewCoordinator(fo)
+	t.Cleanup(func() { co.Close() })
+	// Worker-side write 2 is its first RunSegment reply (0 = hello,
+	// 1 = solve-ready).
+	pipeWorker(t, co, "w0", nil, func(c net.Conn) Transport {
+		return newFlaky(c, map[int]faultKind{2: faultDelay})
+	})
+	if got := resultJSON(t, fleetSolve(t, co, g, opt)); got != want {
+		t.Errorf("result diverges under a delayed reply")
+	}
+}
+
+// TestFaultSetupReassignment: one worker's connection dies mid-frame
+// during SolveStart delivery. Nothing has executed, so the coordinator
+// reassigns the whole portfolio to the survivor and the result is
+// bit-identical to the clean solve.
+func TestFaultSetupReassignment(t *testing.T) {
+	checkGoroutines(t)
+	g := models.MustBuild("tinyconv")
+	opt := testOptions(21)
+	want := resultJSON(t, anneal.SA(g, engine.Default(), engine.KCPartition, opt))
+	co := NewCoordinator(faultOptions())
+	t.Cleanup(func() { co.Close() })
+	var events []Event
+	var evMu sync.Mutex
+	co.SetOnEvent(func(e Event) {
+		evMu.Lock()
+		events = append(events, e)
+		evMu.Unlock()
+	})
+	// Coordinator-side write 1 is SolveStart (0 = welcome): cut it.
+	pipeWorker(t, co, "w0", func(c net.Conn) Transport {
+		return newFlaky(c, map[int]faultKind{1: faultCut})
+	}, nil)
+	pipeWorker(t, co, "w1", nil, nil)
+	if got := resultJSON(t, fleetSolve(t, co, g, opt)); got != want {
+		t.Errorf("result diverges after setup reassignment")
+	}
+	evMu.Lock()
+	defer evMu.Unlock()
+	lost := false
+	for _, e := range events {
+		if e.Type == "worker_lost" && e.Worker == "w0" {
+			lost = true
+		}
+	}
+	if !lost {
+		t.Errorf("no worker_lost event for the cut worker; events: %+v", events)
+	}
+}
+
+// TestFaultMidSolveDegradation: a worker dies after chains have run.
+// The solve degrades to the survivor's chains and still completes with
+// a valid result (the full-width digest is no longer pinned — that is
+// the documented trade).
+func TestFaultMidSolveDegradation(t *testing.T) {
+	checkGoroutines(t)
+	g := models.MustBuild("tinyconv")
+	opt := testOptions(31)
+	co := NewCoordinator(faultOptions())
+	t.Cleanup(func() { co.Close() })
+	degraded := make(chan Event, 16)
+	co.SetOnEvent(func(e Event) {
+		if e.Type == "solve_degraded" {
+			select {
+			case degraded <- e:
+			default:
+			}
+		}
+	})
+	// Coordinator-side write 2 is the second request (welcome=0,
+	// SolveStart=1): the first RunSegment dies mid-frame.
+	pipeWorker(t, co, "w0", func(c net.Conn) Transport {
+		return newFlaky(c, map[int]faultKind{2: faultCut})
+	}, nil)
+	pipeWorker(t, co, "w1", nil, nil)
+	res := fleetSolve(t, co, g, opt)
+	if len(res.Spec) == 0 {
+		t.Fatalf("degraded solve returned an empty spec")
+	}
+	select {
+	case <-degraded:
+	default:
+		t.Errorf("no solve_degraded event observed")
+	}
+	if n := co.NumWorkers(); n != 1 {
+		t.Errorf("NumWorkers = %d after degradation, want 1", n)
+	}
+}
+
+// TestFaultAllWorkersLost: every worker dies mid-solve; the solve
+// reports ErrNoWorkers so the caller can fall back to the in-process
+// portfolio.
+func TestFaultAllWorkersLost(t *testing.T) {
+	checkGoroutines(t)
+	g := models.MustBuild("tinyconv")
+	opt := testOptions(37)
+	co := NewCoordinator(faultOptions())
+	t.Cleanup(func() { co.Close() })
+	for i, name := range []string{"w0", "w1"} {
+		_ = i
+		pipeWorker(t, co, name, func(c net.Conn) Transport {
+			return newFlaky(c, map[int]faultKind{2: faultCut})
+		}, nil)
+	}
+	_, err := co.Solve(context.Background(), g, engine.Default(), engine.KCPartition, opt)
+	if err != ErrNoWorkers {
+		t.Fatalf("err = %v, want ErrNoWorkers", err)
+	}
+}
+
+// TestFaultWorkerRejoins: a worker lost to faults reconnects (as
+// RunWorker would) and the next solve uses it again.
+func TestFaultWorkerRejoins(t *testing.T) {
+	checkGoroutines(t)
+	g := models.MustBuild("tinyconv")
+	opt := testOptions(41)
+	want := resultJSON(t, anneal.SA(g, engine.Default(), engine.KCPartition, opt))
+	co := NewCoordinator(faultOptions())
+	t.Cleanup(func() { co.Close() })
+	pipeWorker(t, co, "w0", func(c net.Conn) Transport {
+		return newFlaky(c, map[int]faultKind{2: faultCut})
+	}, nil)
+	pipeWorker(t, co, "w1", nil, nil)
+	if res := fleetSolve(t, co, g, opt); len(res.Spec) == 0 {
+		t.Fatalf("degraded solve returned an empty spec")
+	}
+	// w0's connection is gone; rejoin with a healthy one and verify the
+	// fleet is whole again and bit-identical.
+	pipeWorker(t, co, "w0", nil, nil)
+	deadline := time.Now().Add(5 * time.Second)
+	for co.NumWorkers() != 2 {
+		if time.Now().After(deadline) {
+			t.Fatalf("rejoined worker not registered; have %d", co.NumWorkers())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if got := resultJSON(t, fleetSolve(t, co, g, opt)); got != want {
+		t.Errorf("result diverges after the worker rejoined")
+	}
+}

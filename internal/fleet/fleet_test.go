@@ -1,0 +1,293 @@
+package fleet
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"runtime"
+	"testing"
+	"time"
+
+	"github.com/atomic-dataflow/atomicflow/internal/anneal"
+	"github.com/atomic-dataflow/atomicflow/internal/engine"
+	"github.com/atomic-dataflow/atomicflow/internal/graph"
+	"github.com/atomic-dataflow/atomicflow/internal/models"
+)
+
+// checkGoroutines arranges for the test to fail if it leaks goroutines:
+// the count is captured now and re-checked after all cleanups (so after
+// the coordinator and workers registered later in the test have shut
+// down), with a GC+poll loop absorbing runtime stragglers.
+func checkGoroutines(t *testing.T) {
+	t.Helper()
+	before := runtime.NumGoroutine()
+	t.Cleanup(func() {
+		deadline := time.Now().Add(5 * time.Second)
+		for {
+			runtime.GC()
+			if n := runtime.NumGoroutine(); n <= before+3 {
+				return
+			}
+			if time.Now().After(deadline) {
+				buf := make([]byte, 1<<20)
+				n := runtime.Stack(buf, true)
+				t.Fatalf("goroutines leaked: %d before, %d after\n%s",
+					before, runtime.NumGoroutine(), buf[:n])
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+	})
+}
+
+// connPair returns the two ends of a loopback TCP connection. The
+// fault tests need real kernel buffering: net.Pipe's zero-buffer
+// rendezvous deadlocks on traffic no real network blocks on (a stale
+// reply the coordinator hasn't asked for yet meeting the coordinator's
+// next request).
+func connPair(t *testing.T) (worker, coord net.Conn) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	defer ln.Close()
+	type res struct {
+		c   net.Conn
+		err error
+	}
+	ch := make(chan res, 1)
+	go func() {
+		c, err := ln.Accept()
+		ch <- res{c, err}
+	}()
+	wc, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	r := <-ch
+	if r.err != nil {
+		wc.Close()
+		t.Fatalf("accept: %v", r.err)
+	}
+	return wc, r.c
+}
+
+// pipeWorker runs a worker over one end of a loopback connection and
+// registers the other end with the coordinator, optionally wrapping
+// either side in a fault-injecting transport. It returns the worker
+// session's exit channel; cleanup waits for the session to end.
+func pipeWorker(t *testing.T, co *Coordinator, name string,
+	wrapCoord, wrapWorker func(net.Conn) Transport) <-chan error {
+	t.Helper()
+	cw, cc := connPair(t)
+	wt := NewTransport(cw)
+	if wrapWorker != nil {
+		wt = wrapWorker(cw)
+	}
+	ct := NewTransport(cc)
+	if wrapCoord != nil {
+		ct = wrapCoord(cc)
+	}
+	done := make(chan error, 1)
+	go func() { done <- ServeConn(wt, WorkerOptions{Name: name}) }()
+	added := make(chan error, 1)
+	go func() {
+		_, err := co.AddWorker(ct)
+		added <- err
+	}()
+	if err := <-added; err != nil {
+		t.Fatalf("AddWorker(%s): %v", name, err)
+	}
+	t.Cleanup(func() {
+		wt.Close() // cleanups run LIFO, before the coordinator's Close
+		select {
+		case <-done:
+		case <-time.After(5 * time.Second):
+			t.Errorf("worker %s session did not end", name)
+		}
+	})
+	return done
+}
+
+// newFleet builds a coordinator with n healthy pipe workers, torn down
+// with the test.
+func newFleet(t *testing.T, opts Options, n int) *Coordinator {
+	t.Helper()
+	co := NewCoordinator(opts)
+	t.Cleanup(func() { co.Close() })
+	for i := 0; i < n; i++ {
+		pipeWorker(t, co, fmt.Sprintf("w%d", i), nil, nil)
+	}
+	return co
+}
+
+func testOptions(seed int64) anneal.Options {
+	return anneal.Options{MaxIters: 400, Seed: seed, Chains: 4, ExchangeEvery: 50, MaxTilesPerLay: 256}
+}
+
+// resultJSON is the comparison key for bit-identity: every exported
+// Result field, with Go's exact float64 round-trip.
+func resultJSON(t *testing.T, res anneal.Result) string {
+	t.Helper()
+	b, err := json.Marshal(res)
+	if err != nil {
+		t.Fatalf("marshal result: %v", err)
+	}
+	return string(b)
+}
+
+func fleetSolve(t *testing.T, co *Coordinator, g *graph.Graph, opt anneal.Options) anneal.Result {
+	t.Helper()
+	res, err := co.Solve(context.Background(), g, engine.Default(), engine.KCPartition, opt)
+	if err != nil {
+		t.Fatalf("fleet solve: %v", err)
+	}
+	return res
+}
+
+// TestFleetMatchesPortfolio pins the tentpole contract: a distributed
+// solve over 1, 2 or 4 workers returns bit-identical results to the
+// in-process chain portfolio with the same options.
+func TestFleetMatchesPortfolio(t *testing.T) {
+	checkGoroutines(t)
+	for _, model := range []string{"tinyconv", "tinyresnet", "tinybranch"} {
+		t.Run(model, func(t *testing.T) {
+			g := models.MustBuild(model)
+			opt := testOptions(7)
+			want := resultJSON(t, anneal.SA(g, engine.Default(), engine.KCPartition, opt))
+			for _, workers := range []int{1, 2, 4} {
+				co := newFleet(t, Options{Heartbeat: -1}, workers)
+				got := resultJSON(t, fleetSolve(t, co, g, opt))
+				if got != want {
+					t.Errorf("W=%d: fleet result diverges from in-process portfolio\nfleet: %.120s\nlocal: %.120s", workers, got, want)
+				}
+				co.Close()
+			}
+		})
+	}
+}
+
+// TestFleetMoreWorkersThanChains pins that surplus workers idle out
+// rather than perturb the assignment: 4 chains over 6 workers uses the
+// first 4 by name.
+func TestFleetMoreWorkersThanChains(t *testing.T) {
+	checkGoroutines(t)
+	g := models.MustBuild("tinyconv")
+	opt := testOptions(11)
+	want := resultJSON(t, anneal.SA(g, engine.Default(), engine.KCPartition, opt))
+	co := newFleet(t, Options{Heartbeat: -1}, 6)
+	if got := resultJSON(t, fleetSolve(t, co, g, opt)); got != want {
+		t.Errorf("fleet result diverges with surplus workers")
+	}
+}
+
+// TestFleetSingleChain: a Chains=1 portfolio distributes too (one
+// worker owns the one chain) and stays identical to classic SA.
+func TestFleetSingleChain(t *testing.T) {
+	checkGoroutines(t)
+	g := models.MustBuild("tinyconv")
+	opt := anneal.Options{MaxIters: 300, Seed: 3, Chains: 1, MaxTilesPerLay: 256}
+	want := resultJSON(t, anneal.SA(g, engine.Default(), engine.KCPartition, opt))
+	co := newFleet(t, Options{Heartbeat: -1}, 2)
+	if got := resultJSON(t, fleetSolve(t, co, g, opt)); got != want {
+		t.Errorf("single-chain fleet result diverges from SA")
+	}
+}
+
+// TestFleetWarmStartParity: WarmStart crosses the wire and yields the
+// same result as the in-process warm-started portfolio.
+func TestFleetWarmStartParity(t *testing.T) {
+	checkGoroutines(t)
+	g := models.MustBuild("tinyresnet")
+	cold := anneal.SA(g, engine.Default(), engine.KCPartition, testOptions(5))
+	opt := testOptions(5)
+	opt.WarmStart = cold.Spec
+	want := resultJSON(t, anneal.SA(g, engine.Default(), engine.KCPartition, opt))
+	co := newFleet(t, Options{Heartbeat: -1}, 2)
+	if got := resultJSON(t, fleetSolve(t, co, g, opt)); got != want {
+		t.Errorf("warm-started fleet result diverges from in-process warm start")
+	}
+}
+
+func TestFleetNoWorkers(t *testing.T) {
+	checkGoroutines(t)
+	co := NewCoordinator(Options{Heartbeat: -1})
+	defer co.Close()
+	g := models.MustBuild("tinyconv")
+	_, err := co.Solve(context.Background(), g, engine.Default(), engine.KCPartition, testOptions(1))
+	if err != ErrNoWorkers {
+		t.Fatalf("err = %v, want ErrNoWorkers", err)
+	}
+}
+
+func TestFleetRejectsGAPortfolio(t *testing.T) {
+	checkGoroutines(t)
+	co := newFleet(t, Options{Heartbeat: -1}, 1)
+	g := models.MustBuild("tinyconv")
+	opt := testOptions(1)
+	opt.PortfolioGA = true
+	if _, err := co.Solve(context.Background(), g, engine.Default(), engine.KCPartition, opt); err == nil {
+		t.Fatal("GA portfolio accepted by fleet solve")
+	}
+}
+
+// TestProtocolVersionMismatch: a worker speaking a different protocol
+// version is refused at the handshake.
+func TestProtocolVersionMismatch(t *testing.T) {
+	checkGoroutines(t)
+	co := NewCoordinator(Options{Heartbeat: -1})
+	defer co.Close()
+	cw, cc := net.Pipe()
+	defer cw.Close()
+	added := make(chan error, 1)
+	go func() {
+		_, err := co.AddWorker(NewTransport(cc))
+		added <- err
+	}()
+	wt := NewTransport(cw)
+	if err := wt.WriteFrame(replyFrame(MsgHello, 0, Hello{Proto: ProtocolVersion + 1, Name: "old"})); err != nil {
+		t.Fatalf("hello: %v", err)
+	}
+	if err := <-added; err == nil {
+		t.Fatal("mismatched protocol version accepted")
+	}
+	f, err := wt.ReadFrame()
+	if err == nil && f.Type != MsgError {
+		t.Fatalf("worker got %d, want MsgError", f.Type)
+	}
+	if co.NumWorkers() != 0 {
+		t.Fatalf("worker registered despite version mismatch")
+	}
+}
+
+// TestHeartbeatReapsDeadWorker: a worker that stops answering pings is
+// retired by the reaper.
+func TestHeartbeatReapsDeadWorker(t *testing.T) {
+	checkGoroutines(t)
+	co := NewCoordinator(Options{Heartbeat: 20 * time.Millisecond})
+	t.Cleanup(func() { co.Close() })
+	cw, cc := net.Pipe()
+	done := make(chan error, 1)
+	go func() { done <- ServeConn(NewTransport(cw), WorkerOptions{Name: "doomed"}) }()
+	added := make(chan error, 1)
+	go func() {
+		_, err := co.AddWorker(NewTransport(cc))
+		added <- err
+	}()
+	if err := <-added; err != nil {
+		t.Fatalf("AddWorker: %v", err)
+	}
+	if n := co.NumWorkers(); n != 1 {
+		t.Fatalf("NumWorkers = %d, want 1", n)
+	}
+	cw.Close() // the worker dies
+	<-done
+	deadline := time.Now().Add(5 * time.Second)
+	for co.NumWorkers() != 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("reaper did not retire the dead worker")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}

@@ -1,0 +1,53 @@
+package fleet
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+)
+
+// FuzzFleetDecode holds DecodeFrame to its contract on arbitrary bytes:
+// never panic, never read past the buffer, and on success consume
+// exactly one well-formed frame that re-encodes to the same bytes.
+func FuzzFleetDecode(f *testing.F) {
+	// Well-formed frames.
+	for _, fr := range []Frame{
+		{Type: MsgPing, Seq: 1},
+		{Type: MsgHello, Seq: 0, Payload: []byte(`{"proto":1,"name":"w0"}`)},
+		{Type: MsgSegmentDone, Seq: 42, Payload: []byte(`{"stats":[{"chain":0,"e":1.5}]}`)},
+		{Type: MsgError, Seq: 7, Payload: []byte(`{"err":"boom"}`)},
+	} {
+		buf, err := EncodeFrame(nil, fr)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(buf)
+		f.Add(buf[:len(buf)-1]) // truncated payload
+		f.Add(buf[:2])          // truncated length prefix
+	}
+	// Malformed lengths: below the header floor and above the cap.
+	f.Add([]byte{0, 0, 0, 0})
+	f.Add([]byte{0, 0, 0, 8, 1, 0, 0, 0, 0, 0, 0, 0})
+	f.Add(binary.BigEndian.AppendUint32(nil, MaxFrameBytes+1))
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 1, 2, 3})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		fr, n, err := DecodeFrame(data)
+		if err != nil {
+			if n != 0 {
+				t.Fatalf("error path consumed %d bytes", n)
+			}
+			return
+		}
+		if n < 4+frameHeader || n > len(data) {
+			t.Fatalf("consumed %d bytes of %d", n, len(data))
+		}
+		re, err := EncodeFrame(nil, fr)
+		if err != nil {
+			t.Fatalf("re-encoding a decoded frame: %v", err)
+		}
+		if !bytes.Equal(re, data[:n]) {
+			t.Fatalf("re-encode mismatch:\n got %x\nwant %x", re, data[:n])
+		}
+	})
+}

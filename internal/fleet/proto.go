@@ -1,0 +1,209 @@
+package fleet
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"github.com/atomic-dataflow/atomicflow/internal/anneal"
+	"github.com/atomic-dataflow/atomicflow/internal/atom"
+	"github.com/atomic-dataflow/atomicflow/internal/engine"
+)
+
+// ProtocolVersion is checked in the Hello/Welcome handshake; peers on
+// different versions refuse each other. Bump on any wire change.
+const ProtocolVersion = 1
+
+// Message types. The request/reply pairing is strict lockstep: the
+// coordinator sends one request per connection at a time and the worker
+// answers with the paired reply type (or MsgError).
+const (
+	MsgHello       MsgType = 1  // worker → coordinator, on connect
+	MsgWelcome     MsgType = 2  // coordinator → worker, handshake reply
+	MsgPing        MsgType = 3  // heartbeat request
+	MsgPong        MsgType = 4  // heartbeat reply
+	MsgSolveStart  MsgType = 5  // ship SolveSpec, build the shard
+	MsgSolveReady  MsgType = 6  // shard built (candidate space + chains)
+	MsgRunSegment  MsgType = 7  // advance owned chains n iterations
+	MsgSegmentDone MsgType = 8  // per-chain snapshots at the barrier
+	MsgStateReq    MsgType = 9  // fetch one chain's best choice vector
+	MsgState       MsgType = 10 // that vector
+	MsgAdopt       MsgType = 11 // apply exchange-barrier adoptions
+	MsgAdoptDone   MsgType = 12 // adoptions applied
+	MsgFinalReq    MsgType = 13 // fetch the winning chain's closing state
+	MsgFinal       MsgType = 14 // that state
+	MsgRelease     MsgType = 15 // drop the shard (solve over)
+	MsgReleased    MsgType = 16 // shard dropped
+	MsgError       MsgType = 17 // reply: request failed (worker still up)
+)
+
+// Hello opens a worker connection.
+type Hello struct {
+	Proto int    `json:"proto"`
+	Name  string `json:"name,omitempty"` // advisory; coordinator may rename
+}
+
+// Welcome accepts a worker; Name is the registered (possibly assigned)
+// worker name.
+type Welcome struct {
+	Proto int    `json:"proto"`
+	Name  string `json:"name"`
+}
+
+// WireOptions is the subset of anneal.Options that crosses the wire:
+// every field that shapes the candidate space or a chain trajectory,
+// and nothing that doesn't (Oracle, Metrics, Ctx, Progress stay on
+// their own side; Surrogate and PortfolioGA are rejected for fleet
+// solves). All fields round-trip exactly through JSON.
+type WireOptions struct {
+	MaxIters       int                    `json:"max_iters"`
+	Len            float64                `json:"len"`
+	Epsilon        float64                `json:"epsilon"`
+	Temp           float64                `json:"temp"`
+	Lambda         float64                `json:"lambda"`
+	Seed           int64                  `json:"seed"`
+	MaxTilesPerLay int                    `json:"max_tiles"`
+	MaxSplits      int                    `json:"max_splits"`
+	BufferFraction float64                `json:"buffer_fraction"`
+	Chains         int                    `json:"chains"`
+	ExchangeEvery  int                    `json:"exchange_every"`
+	WarmStart      map[int]atom.Partition `json:"warm_start,omitempty"`
+}
+
+// wireOptionsOf extracts the wire-clean subset of opt.
+func wireOptionsOf(opt anneal.Options) WireOptions {
+	return WireOptions{
+		MaxIters:       opt.MaxIters,
+		Len:            opt.Len,
+		Epsilon:        opt.Epsilon,
+		Temp:           opt.Temp,
+		Lambda:         opt.Lambda,
+		Seed:           opt.Seed,
+		MaxTilesPerLay: opt.MaxTilesPerLay,
+		MaxSplits:      opt.MaxSplits,
+		BufferFraction: opt.BufferFraction,
+		Chains:         opt.Chains,
+		ExchangeEvery:  opt.ExchangeEvery,
+		WarmStart:      opt.WarmStart,
+	}
+}
+
+// Options expands the wire subset back into anneal.Options. The worker
+// leaves Oracle nil (a fresh memoized oracle per shard — memoization
+// caches exact values, so sharing or not sharing it never changes a
+// trajectory) and Metrics/Ctx/Progress nil.
+func (w WireOptions) Options() anneal.Options {
+	return anneal.Options{
+		MaxIters:       w.MaxIters,
+		Len:            w.Len,
+		Epsilon:        w.Epsilon,
+		Temp:           w.Temp,
+		Lambda:         w.Lambda,
+		Seed:           w.Seed,
+		MaxTilesPerLay: w.MaxTilesPerLay,
+		MaxSplits:      w.MaxSplits,
+		BufferFraction: w.BufferFraction,
+		Chains:         w.Chains,
+		ExchangeEvery:  w.ExchangeEvery,
+		WarmStart:      w.WarmStart,
+	}
+}
+
+// SolveSpec is everything a worker needs to build its shard: the
+// canonical graph document (modelio encoding), the hardware tuple, the
+// wire-clean options and the shard's global chain indices.
+type SolveSpec struct {
+	Graph    json.RawMessage `json:"graph"`
+	Engine   engine.Config   `json:"engine"`
+	Dataflow engine.Dataflow `json:"dataflow"`
+	Opt      WireOptions     `json:"opt"`
+	Chains   []int           `json:"chains"`
+}
+
+// SolveStart carries the spec.
+type SolveStart struct {
+	Spec SolveSpec `json:"spec"`
+}
+
+// Ack is the empty success reply (MsgSolveReady, MsgAdoptDone,
+// MsgReleased, MsgPong).
+type Ack struct{}
+
+// RunSegment asks the worker to advance every non-converged owned
+// chain by N iterations.
+type RunSegment struct {
+	N int `json:"n"`
+}
+
+// SegmentDone returns the owned chains' snapshots, ordered by global
+// chain index.
+type SegmentDone struct {
+	Stats []anneal.ChainStat `json:"stats"`
+}
+
+// StateReq asks for one owned chain's best choice vector.
+type StateReq struct {
+	Chain int `json:"chain"`
+}
+
+// State is the reply.
+type State struct {
+	Chain  int   `json:"chain"`
+	Choice []int `json:"choice"`
+}
+
+// Adoption is one exchange-barrier adoption for an owned chain. Choice
+// is present only when the adopted energy undercuts the chain's own
+// best (the only case the clone branch runs — see anneal.Shard.Adopt).
+type Adoption struct {
+	Chain  int     `json:"chain"`
+	BestE  float64 `json:"best_e"`
+	BestS  float64 `json:"best_s"`
+	Choice []int   `json:"choice,omitempty"`
+}
+
+// Adopt carries a barrier's adoptions for this worker's chains.
+type Adopt struct {
+	Adoptions []Adoption `json:"adoptions"`
+}
+
+// FinalReq asks for the winning chain's closing state.
+type FinalReq struct {
+	Chain int `json:"chain"`
+}
+
+// Final is the reply.
+type Final struct {
+	Final anneal.ChainFinal `json:"final"`
+}
+
+// ErrMsg is the payload of a MsgError reply: the request failed for an
+// application reason (bad spec, unknown chain); the worker itself is
+// still healthy. Connection-level trouble has no payload — it surfaces
+// as read/write errors.
+type ErrMsg struct {
+	Err string `json:"err"`
+}
+
+// errorFrame builds a MsgError reply for seq.
+func errorFrame(seq uint64, err error) Frame {
+	body, _ := json.Marshal(ErrMsg{Err: err.Error()})
+	return Frame{Type: MsgError, Seq: seq, Payload: body}
+}
+
+// replyFrame builds a reply frame of type t for seq with a JSON payload.
+func replyFrame(t MsgType, seq uint64, payload any) Frame {
+	body, err := json.Marshal(payload)
+	if err != nil {
+		return errorFrame(seq, fmt.Errorf("fleet: encoding %d reply: %w", t, err))
+	}
+	return Frame{Type: t, Seq: seq, Payload: body}
+}
+
+// decodeErr extracts the error from a MsgError frame.
+func decodeErr(f Frame) error {
+	var e ErrMsg
+	if err := json.Unmarshal(f.Payload, &e); err != nil || e.Err == "" {
+		return fmt.Errorf("fleet: peer reported an unspecified error")
+	}
+	return fmt.Errorf("fleet: peer: %s", e.Err)
+}

@@ -1,0 +1,55 @@
+package fleet
+
+import (
+	"bufio"
+	"net"
+	"time"
+)
+
+// Transport is one frame-oriented connection between the coordinator
+// and a worker. Both sides drive it in strict lockstep from a single
+// goroutine at a time, so implementations need no internal locking.
+//
+// The interface exists so the fault-injection tests can wrap a real
+// codec around a misbehaving byte stream (drops, delays, duplicates,
+// mid-frame cuts) without touching protocol code — and so in-process
+// tests can wire a coordinator to workers over net.Pipe.
+type Transport interface {
+	// WriteFrame sends one frame.
+	WriteFrame(Frame) error
+	// ReadFrame blocks for the next frame.
+	ReadFrame() (Frame, error)
+	// SetDeadline bounds subsequent reads and writes; the zero time
+	// removes the bound. Expired deadlines surface as timeout errors
+	// from ReadFrame/WriteFrame.
+	SetDeadline(time.Time) error
+	// Close tears the connection down; blocked reads and writes fail.
+	Close() error
+}
+
+// connTransport is the production Transport: a net.Conn with buffered
+// reads and writes under the frame codec.
+type connTransport struct {
+	c  net.Conn
+	br *bufio.Reader
+	bw *bufio.Writer
+}
+
+// NewTransport wraps a net.Conn (TCP in production, net.Pipe in tests)
+// in the frame codec.
+func NewTransport(c net.Conn) Transport {
+	return &connTransport{c: c, br: bufio.NewReader(c), bw: bufio.NewWriter(c)}
+}
+
+func (t *connTransport) WriteFrame(f Frame) error {
+	if err := writeFrame(t.bw, f); err != nil {
+		return err
+	}
+	return t.bw.Flush()
+}
+
+func (t *connTransport) ReadFrame() (Frame, error) { return readFrame(t.br) }
+
+func (t *connTransport) SetDeadline(d time.Time) error { return t.c.SetDeadline(d) }
+
+func (t *connTransport) Close() error { return t.c.Close() }

@@ -1,0 +1,136 @@
+// Package fleet distributes the SA chain portfolio across processes: a
+// coordinator (embedded in adserve) owns admission, caching and the
+// exchange barriers, and N workers (adworker) each run a shard of the
+// chains over a small length-prefixed TCP protocol.
+//
+// The wire format is deliberately tiny: every message is one frame,
+//
+//	uint32 length | uint8 type | uint64 seq | payload (JSON)
+//
+// with the length prefix covering type+seq+payload (so a frame costs 4
+// bytes of framing plus 9 of header). Big-endian throughout. Payloads
+// are JSON because everything that crosses the wire is either scalars
+// or choice vectors — Go's encoding round-trips float64 and int64
+// exactly, which is what the bit-identical determinism contract needs
+// (see internal/anneal/shard.go).
+//
+// seq is a per-connection request counter. The coordinator drives every
+// connection in lockstep — one outstanding request at a time — and
+// retries reuse the request's original seq, so the worker can dedup
+// redundant deliveries (it caches its last reply and resends it for a
+// repeated seq) and the coordinator can skip stale replies. That gives
+// at-most-once execution over a transport allowed to drop, delay or
+// duplicate frames.
+package fleet
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// MaxFrameBytes caps a frame's framed length (type + seq + payload). A
+// frame for even the largest zoo model is a few MB of JSON; anything
+// past this is a corrupt or hostile peer.
+const MaxFrameBytes = 64 << 20
+
+// frameHeader is type+seq, the framed bytes before the payload.
+const frameHeader = 1 + 8
+
+// MsgType tags a frame. Values are part of the wire protocol: never
+// renumber, only append.
+type MsgType uint8
+
+// Frame is one decoded wire frame.
+type Frame struct {
+	Type    MsgType
+	Seq     uint64
+	Payload []byte
+}
+
+// ErrShortFrame reports that the buffer ends before the frame does —
+// the caller should read more bytes and retry.
+var ErrShortFrame = errors.New("fleet: short frame")
+
+// EncodeFrame appends the frame's wire encoding to dst.
+func EncodeFrame(dst []byte, f Frame) ([]byte, error) {
+	n := frameHeader + len(f.Payload)
+	if n > MaxFrameBytes {
+		return nil, fmt.Errorf("fleet: frame of %d bytes exceeds cap %d", n, MaxFrameBytes)
+	}
+	dst = binary.BigEndian.AppendUint32(dst, uint32(n))
+	dst = append(dst, byte(f.Type))
+	dst = binary.BigEndian.AppendUint64(dst, f.Seq)
+	return append(dst, f.Payload...), nil
+}
+
+// DecodeFrame decodes one frame from the front of b, returning the
+// frame and the number of bytes consumed. ErrShortFrame means b holds
+// only a prefix of a (plausibly valid) frame; any other error means the
+// stream is corrupt and the connection should be dropped. Never panics,
+// for any input — FuzzFleetDecode holds it to that.
+func DecodeFrame(b []byte) (Frame, int, error) {
+	if len(b) < 4 {
+		return Frame{}, 0, ErrShortFrame
+	}
+	n := binary.BigEndian.Uint32(b)
+	if n < frameHeader {
+		return Frame{}, 0, fmt.Errorf("fleet: frame length %d below header size %d", n, frameHeader)
+	}
+	if n > MaxFrameBytes {
+		return Frame{}, 0, fmt.Errorf("fleet: frame length %d exceeds cap %d", n, MaxFrameBytes)
+	}
+	if uint32(len(b)-4) < n {
+		return Frame{}, 0, ErrShortFrame
+	}
+	body := b[4 : 4+int(n)]
+	f := Frame{
+		Type: MsgType(body[0]),
+		Seq:  binary.BigEndian.Uint64(body[1:9]),
+	}
+	if len(body) > frameHeader {
+		f.Payload = append([]byte(nil), body[frameHeader:]...)
+	}
+	return f, 4 + int(n), nil
+}
+
+// writeFrame writes one frame to w.
+func writeFrame(w io.Writer, f Frame) error {
+	buf, err := EncodeFrame(nil, f)
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(buf)
+	return err
+}
+
+// readFrame reads one frame from r.
+func readFrame(r io.Reader) (Frame, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return Frame{}, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n < frameHeader {
+		return Frame{}, fmt.Errorf("fleet: frame length %d below header size %d", n, frameHeader)
+	}
+	if n > MaxFrameBytes {
+		return Frame{}, fmt.Errorf("fleet: frame length %d exceeds cap %d", n, MaxFrameBytes)
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(r, body); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return Frame{}, err
+	}
+	f := Frame{
+		Type: MsgType(body[0]),
+		Seq:  binary.BigEndian.Uint64(body[1:9]),
+	}
+	if len(body) > frameHeader {
+		f.Payload = body[frameHeader:]
+	}
+	return f, nil
+}

@@ -1,0 +1,251 @@
+package fleet
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"time"
+
+	"github.com/atomic-dataflow/atomicflow/internal/anneal"
+	"github.com/atomic-dataflow/atomicflow/internal/modelio"
+)
+
+// WorkerOptions configures one worker connection.
+type WorkerOptions struct {
+	// Name is advertised in the handshake; the coordinator may assign a
+	// different one (returned in Welcome) if it collides.
+	Name string
+	// IdleTimeout bounds the wait for the next request; the
+	// coordinator's heartbeat pings reset it, so an expiry means the
+	// coordinator is gone and the connection should be retired
+	// (RunWorker then reconnects). Default 2m; < 0 disables.
+	IdleTimeout time.Duration
+	// Logf, when non-nil, receives connection-lifecycle lines.
+	Logf func(format string, args ...any)
+}
+
+func (o WorkerOptions) idle() time.Duration {
+	if o.IdleTimeout < 0 {
+		return 0
+	}
+	if o.IdleTimeout == 0 {
+		return 2 * time.Minute
+	}
+	return o.IdleTimeout
+}
+
+func (o WorkerOptions) logf(format string, args ...any) {
+	if o.Logf != nil {
+		o.Logf(format, args...)
+	}
+}
+
+// workerState is one connection's protocol state: the current shard
+// plus the at-most-once bookkeeping. seqs are per-connection and
+// monotonic; a repeated seq is a retry of a request whose reply was
+// lost, answered from the cache without re-executing (re-running a
+// RunSegment would corrupt the chain trajectories), and a lower seq is
+// a stale duplicate, dropped without reply.
+type workerState struct {
+	shard     *anneal.Shard
+	lastSeq   uint64
+	lastReply *Frame
+}
+
+// ServeConn runs the worker side of one coordinator connection until
+// the connection fails, idles out, or is closed. The caller owns the
+// transport's lifetime on error paths; ServeConn closes it on return.
+func ServeConn(t Transport, opt WorkerOptions) error {
+	defer t.Close()
+
+	// Handshake: Hello out, Welcome back, versions must agree.
+	_ = t.SetDeadline(time.Now().Add(10 * time.Second))
+	hello := replyFrame(MsgHello, 0, Hello{Proto: ProtocolVersion, Name: opt.Name})
+	if err := t.WriteFrame(hello); err != nil {
+		return fmt.Errorf("fleet: sending hello: %w", err)
+	}
+	f, err := t.ReadFrame()
+	if err != nil {
+		return fmt.Errorf("fleet: awaiting welcome: %w", err)
+	}
+	if f.Type == MsgError {
+		return decodeErr(f)
+	}
+	if f.Type != MsgWelcome {
+		return fmt.Errorf("fleet: expected welcome, got message type %d", f.Type)
+	}
+	var w Welcome
+	if err := json.Unmarshal(f.Payload, &w); err != nil {
+		return fmt.Errorf("fleet: decoding welcome: %w", err)
+	}
+	if w.Proto != ProtocolVersion {
+		return fmt.Errorf("fleet: coordinator speaks protocol %d, this worker %d", w.Proto, ProtocolVersion)
+	}
+	opt.logf("fleet worker %q: registered", w.Name)
+
+	st := &workerState{}
+	idle := opt.idle()
+	for {
+		if idle > 0 {
+			_ = t.SetDeadline(time.Now().Add(idle))
+		} else {
+			_ = t.SetDeadline(time.Time{})
+		}
+		f, err := t.ReadFrame()
+		if err != nil {
+			return err
+		}
+		if st.lastReply != nil && f.Seq == st.lastSeq {
+			// Retry of the last request: resend the cached reply.
+			if err := t.WriteFrame(*st.lastReply); err != nil {
+				return err
+			}
+			continue
+		}
+		if f.Seq <= st.lastSeq {
+			continue // stale duplicate of an older request
+		}
+		reply := st.handle(f)
+		st.lastSeq, st.lastReply = f.Seq, &reply
+		if err := t.WriteFrame(reply); err != nil {
+			return err
+		}
+	}
+}
+
+// handle executes one fresh request and builds its reply.
+func (st *workerState) handle(f Frame) Frame {
+	switch f.Type {
+	case MsgPing:
+		return replyFrame(MsgPong, f.Seq, Ack{})
+
+	case MsgSolveStart:
+		var req SolveStart
+		if err := json.Unmarshal(f.Payload, &req); err != nil {
+			return errorFrame(f.Seq, fmt.Errorf("decoding solve spec: %w", err))
+		}
+		g, err := modelio.Decode(req.Spec.Graph)
+		if err != nil {
+			return errorFrame(f.Seq, fmt.Errorf("decoding graph: %w", err))
+		}
+		sh, err := anneal.NewShard(g, req.Spec.Engine, req.Spec.Dataflow, req.Spec.Opt.Options(), req.Spec.Chains)
+		if err != nil {
+			return errorFrame(f.Seq, err)
+		}
+		// A SolveStart always replaces the current shard: after a
+		// setup-phase reassignment the coordinator re-sends the spec
+		// with a new chain set before anything has run.
+		st.shard = sh
+		return replyFrame(MsgSolveReady, f.Seq, Ack{})
+
+	case MsgRunSegment:
+		if st.shard == nil {
+			return errorFrame(f.Seq, fmt.Errorf("no shard loaded"))
+		}
+		var req RunSegment
+		if err := json.Unmarshal(f.Payload, &req); err != nil {
+			return errorFrame(f.Seq, fmt.Errorf("decoding segment request: %w", err))
+		}
+		if req.N <= 0 {
+			return errorFrame(f.Seq, fmt.Errorf("segment of %d iterations", req.N))
+		}
+		return replyFrame(MsgSegmentDone, f.Seq, SegmentDone{Stats: st.shard.RunSegment(req.N)})
+
+	case MsgStateReq:
+		if st.shard == nil {
+			return errorFrame(f.Seq, fmt.Errorf("no shard loaded"))
+		}
+		var req StateReq
+		if err := json.Unmarshal(f.Payload, &req); err != nil {
+			return errorFrame(f.Seq, fmt.Errorf("decoding state request: %w", err))
+		}
+		choice, err := st.shard.BestChoice(req.Chain)
+		if err != nil {
+			return errorFrame(f.Seq, err)
+		}
+		return replyFrame(MsgState, f.Seq, State{Chain: req.Chain, Choice: choice})
+
+	case MsgAdopt:
+		if st.shard == nil {
+			return errorFrame(f.Seq, fmt.Errorf("no shard loaded"))
+		}
+		var req Adopt
+		if err := json.Unmarshal(f.Payload, &req); err != nil {
+			return errorFrame(f.Seq, fmt.Errorf("decoding adoptions: %w", err))
+		}
+		for _, a := range req.Adoptions {
+			if a.Choice != nil {
+				if err := st.shard.ValidChoice(a.Choice); err != nil {
+					return errorFrame(f.Seq, err)
+				}
+			}
+			if err := st.shard.Adopt(a.Chain, a.BestE, a.BestS, a.Choice); err != nil {
+				return errorFrame(f.Seq, err)
+			}
+		}
+		return replyFrame(MsgAdoptDone, f.Seq, Ack{})
+
+	case MsgFinalReq:
+		if st.shard == nil {
+			return errorFrame(f.Seq, fmt.Errorf("no shard loaded"))
+		}
+		var req FinalReq
+		if err := json.Unmarshal(f.Payload, &req); err != nil {
+			return errorFrame(f.Seq, fmt.Errorf("decoding final request: %w", err))
+		}
+		fin, err := st.shard.Final(req.Chain)
+		if err != nil {
+			return errorFrame(f.Seq, err)
+		}
+		return replyFrame(MsgFinal, f.Seq, Final{Final: fin})
+
+	case MsgRelease:
+		st.shard = nil
+		return replyFrame(MsgReleased, f.Seq, Ack{})
+
+	default:
+		return errorFrame(f.Seq, fmt.Errorf("unknown message type %d", f.Type))
+	}
+}
+
+// Dial connects to a coordinator and serves one worker session until
+// the connection ends or ctx is cancelled.
+func Dial(ctx context.Context, addr string, opt WorkerOptions) error {
+	var d net.Dialer
+	c, err := d.DialContext(ctx, "tcp", addr)
+	if err != nil {
+		return err
+	}
+	t := NewTransport(c)
+	stop := context.AfterFunc(ctx, func() { t.Close() })
+	defer stop()
+	return ServeConn(t, opt)
+}
+
+// RunWorker dials the coordinator and serves sessions until ctx is
+// cancelled, reconnecting with capped exponential backoff — the adworker
+// main loop.
+func RunWorker(ctx context.Context, addr string, opt WorkerOptions) error {
+	const maxBackoff = 30 * time.Second
+	backoff := time.Second
+	for {
+		start := time.Now()
+		err := Dial(ctx, addr, opt)
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+		if time.Since(start) > maxBackoff {
+			backoff = time.Second // the last session was healthy for a while
+		}
+		opt.logf("fleet worker: session with %s ended (%v); reconnecting in %s", addr, err, backoff)
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(backoff):
+		}
+		if backoff < maxBackoff {
+			backoff *= 2
+		}
+	}
+}

@@ -32,9 +32,9 @@ func LintPrometheus(r io.Reader) error {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1<<20), 1<<24)
 
-	typed := map[string]string{}   // base metric -> declared type
-	sampled := map[string]bool{}   // base metrics that already have samples
-	seen := map[string]bool{}      // full series (name+labels) seen
+	typed := map[string]string{}    // base metric -> declared type
+	sampled := map[string]bool{}    // base metrics that already have samples
+	seen := map[string]bool{}       // full series (name+labels) seen
 	bucketCum := map[string]int64{} // histogram series prefix -> last cumulative count
 	bucketInf := map[string]int64{} // histogram series prefix -> +Inf count
 	counts := map[string]int64{}    // histogram series prefix -> _count value

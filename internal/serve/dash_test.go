@@ -230,11 +230,9 @@ func TestBuildInfoAndUptimeExported(t *testing.T) {
 		return 0
 	}
 	u1 := uptime(out)
-	time.Sleep(20 * time.Millisecond)
-	u2 := uptime(scrape())
-	if u2 <= u1 {
-		t.Fatalf("uptime did not advance: %v then %v", u1, u2)
-	}
+	// Uptime must advance between scrapes. Poll instead of sleeping a
+	// fixed interval: the test waits exactly as long as the clock needs.
+	waitFor(t, func() bool { return uptime(scrape()) > u1 })
 
 	// /metrics.json mirrors both.
 	var snap obs.Snapshot

@@ -1,0 +1,298 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"math"
+	"net"
+	"net/http"
+	"os"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/atomic-dataflow/atomicflow/internal/fleet"
+	"github.com/atomic-dataflow/atomicflow/internal/store"
+)
+
+// startFleet brings up a coordinator on a loopback TCP listener with n
+// dialed-in workers — the same wire path adserve -fleet-listen and
+// adworker use, not an in-process shortcut — and tears it all down with
+// the test.
+func startFleet(tb testing.TB, n int) *fleet.Coordinator {
+	tb.Helper()
+	co := fleet.NewCoordinator(fleet.Options{})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		tb.Fatalf("fleet listen: %v", err)
+	}
+	go co.Serve(ln)
+	ctx, cancel := context.WithCancel(context.Background())
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		name := fmt.Sprintf("w%d", i)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_ = fleet.RunWorker(ctx, ln.Addr().String(), fleet.WorkerOptions{Name: name})
+		}()
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for co.NumWorkers() < n {
+		if time.Now().After(deadline) {
+			tb.Fatalf("only %d/%d workers joined within 5s", co.NumWorkers(), n)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	tb.Cleanup(func() {
+		cancel()
+		co.Close()
+		ln.Close()
+		wg.Wait()
+	})
+	return co
+}
+
+// fleetWorkerCounts is the worker matrix for the determinism test. CI's
+// fleet-faults job pins one count per matrix leg via FLEET_WORKERS; a
+// plain `go test` run covers all three.
+func fleetWorkerCounts(tb testing.TB) []int {
+	env := os.Getenv("FLEET_WORKERS")
+	if env == "" {
+		return []int{1, 2, 4}
+	}
+	var out []int
+	for _, f := range strings.Split(env, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil || n < 1 {
+			tb.Fatalf("bad FLEET_WORKERS %q", env)
+		}
+		out = append(out, n)
+	}
+	return out
+}
+
+// TestServeFleetMatchesInProcess is the end-to-end determinism contract:
+// a server whose solves run on a TCP worker fleet answers /solve with
+// exactly the digests a fleetless server computes in-process, for every
+// worker count — sharding the chain portfolio must not change a single
+// byte of any solution.
+func TestServeFleetMatchesInProcess(t *testing.T) {
+	bodies := []string{
+		`{"model":"tinyconv","sa_iters":200,"chains":4,"seed":7}`,
+		`{"model":"tinyresnet","sa_iters":200,"chains":4,"seed":7}`,
+	}
+	want := map[string]string{}
+	_, ref := newTestServer(t, Config{Workers: 1})
+	for _, b := range bodies {
+		resp, body := postSolve(t, ref, b)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("reference solve %s: %d %s", b, resp.StatusCode, body)
+		}
+		want[b] = resp.Header.Get("X-Adserve-Digest")
+	}
+
+	for _, w := range fleetWorkerCounts(t) {
+		t.Run(fmt.Sprintf("workers=%d", w), func(t *testing.T) {
+			co := startFleet(t, w)
+			s, ts := newTestServer(t, Config{Workers: 1, Fleet: co})
+			for _, b := range bodies {
+				resp, body := postSolve(t, ts, b)
+				if resp.StatusCode != http.StatusOK {
+					t.Fatalf("fleet solve %s: %d %s", b, resp.StatusCode, body)
+				}
+				if src := resp.Header.Get("X-Adserve-Cache"); src != "miss" {
+					t.Fatalf("fleet solve was %q, want miss", src)
+				}
+				if got := resp.Header.Get("X-Adserve-Digest"); got != want[b] {
+					t.Fatalf("fleet digest %q != in-process digest %q for %s", got, want[b], b)
+				}
+			}
+			// Every request must actually have run on the fleet; a silent
+			// in-process fallback would make the digest check vacuous.
+			if got := s.m.fleetSolves.Value(); got != int64(len(bodies)) {
+				t.Fatalf("fleet solved %d of %d requests (fallbacks %d)",
+					got, len(bodies), s.m.fleetFallbacks.Value())
+			}
+		})
+	}
+}
+
+// TestServeFleetFallsBackWhenFleetEmpty pins the degradation contract at
+// the serve layer: a coordinator with no workers must not fail requests —
+// the server solves in-process, counts the fallback, and the bytes still
+// match the fleetless answer (the fallback runs the same search).
+func TestServeFleetFallsBackWhenFleetEmpty(t *testing.T) {
+	co := fleet.NewCoordinator(fleet.Options{})
+	t.Cleanup(func() { co.Close() })
+	s, ts := newTestServer(t, Config{Workers: 1, Fleet: co})
+	_, ref := newTestServer(t, Config{Workers: 1})
+
+	body := `{"model":"tinyconv","sa_iters":120,"chains":2,"seed":5}`
+	wantResp, wantBody := postSolve(t, ref, body)
+	if wantResp.StatusCode != http.StatusOK {
+		t.Fatalf("reference solve: %d %s", wantResp.StatusCode, wantBody)
+	}
+	resp, b := postSolve(t, ts, body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("solve with empty fleet: %d %s", resp.StatusCode, b)
+	}
+	if got, want := resp.Header.Get("X-Adserve-Digest"), wantResp.Header.Get("X-Adserve-Digest"); got != want {
+		t.Fatalf("fallback digest %q != in-process digest %q", got, want)
+	}
+	if s.m.fleetFallbacks.Value() != 1 || s.m.fleetSolves.Value() != 0 {
+		t.Fatalf("fallbacks=%d fleetSolves=%d, want 1/0",
+			s.m.fleetFallbacks.Value(), s.m.fleetSolves.Value())
+	}
+}
+
+// TestStoreReplayAcrossRestart is the persistence contract: after the
+// serving process restarts (new Server, new Store handle, same
+// directory), a repeated request is answered from the store with the
+// byte-identical body — no re-solve — and the hit backfills the LRU so
+// the next repeat is an ordinary cache hit.
+func TestStoreReplayAcrossRestart(t *testing.T) {
+	dir := t.TempDir()
+	st1, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1, ts1 := newTestServer(t, Config{Workers: 1, Store: st1})
+	body := `{"model":"tinybranch","sa_iters":120,"seed":3}`
+	resp1, b1 := postSolve(t, ts1, body)
+	if resp1.StatusCode != http.StatusOK {
+		t.Fatalf("first solve: %d %s", resp1.StatusCode, b1)
+	}
+	if src := resp1.Header.Get("X-Adserve-Cache"); src != "miss" {
+		t.Fatalf("first solve was %q, want miss", src)
+	}
+
+	// "Restart": drain the first server, then bring up a second one over
+	// a fresh Store handle on the same directory.
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := s1.Shutdown(ctx); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	ts1.Close()
+	st2, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, ts2 := newTestServer(t, Config{Workers: 1, Store: st2})
+
+	resp2, b2 := postSolve(t, ts2, body)
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("replayed solve: %d %s", resp2.StatusCode, b2)
+	}
+	if src := resp2.Header.Get("X-Adserve-Cache"); src != "store" {
+		t.Fatalf("post-restart repeat was %q, want store", src)
+	}
+	if !bytes.Equal(b1, b2) {
+		t.Fatalf("store replay changed the body:\n%s\nvs\n%s", b1, b2)
+	}
+	if d1, d2 := resp1.Header.Get("X-Adserve-Digest"), resp2.Header.Get("X-Adserve-Digest"); d1 != d2 {
+		t.Fatalf("digest %q != %q across restart", d1, d2)
+	}
+	if s2.m.storeHits.Value() != 1 {
+		t.Fatalf("store hits = %d, want 1", s2.m.storeHits.Value())
+	}
+
+	// The store hit backfilled the LRU: a second repeat never touches
+	// the store again.
+	resp3, _ := postSolve(t, ts2, body)
+	if src := resp3.Header.Get("X-Adserve-Cache"); src != "hit" {
+		t.Fatalf("second repeat was %q, want hit", src)
+	}
+	if s2.m.storeHits.Value() != 1 {
+		t.Fatalf("store hits grew to %d on an LRU-served repeat", s2.m.storeHits.Value())
+	}
+}
+
+// TestWarmStartEfficiency is the acceptance criterion for the warm-start
+// path: solving a resnet-family graph warm-started from a stored
+// solution of the same graph under different hardware must land within
+// 2% of the cold solve's final cycles while issuing at most half the
+// exact-Evaluate (oracle miss) calls.
+func TestWarmStartEfficiency(t *testing.T) {
+	dir := t.TempDir()
+	st, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Donor: tinyresnet solved on the default 8x8 mesh, persisted.
+	_, donorTS := newTestServer(t, Config{Workers: 1, Store: st})
+	if resp, body := postSolve(t, donorTS, `{"model":"tinyresnet","sa_iters":300,"seed":11}`); resp.StatusCode != http.StatusOK {
+		t.Fatalf("donor solve: %d %s", resp.StatusCode, body)
+	}
+
+	// Same graph on a 4x4 mesh. Cold reference runs on a storeless
+	// server; the warm run shares the store. Each server owns a fresh
+	// cost oracle, so its cost_memo_misses gauge after the single solve
+	// is exactly that solve's exact-Evaluate count.
+	req := `{"model":"tinyresnet","sa_iters":300,"seed":11,"hardware":{"mesh_w":4,"mesh_h":4}%s}`
+	coldSrv, coldTS := newTestServer(t, Config{Workers: 1})
+	respC, bodyC := postSolve(t, coldTS, fmt.Sprintf(req, ""))
+	if respC.StatusCode != http.StatusOK {
+		t.Fatalf("cold solve: %d %s", respC.StatusCode, bodyC)
+	}
+	coldMisses := coldSrv.m.memoMisses.Value()
+
+	warmSrv, warmTS := newTestServer(t, Config{Workers: 1, Store: st})
+	respW, bodyW := postSolve(t, warmTS, fmt.Sprintf(req, `,"warm_start":true`))
+	if respW.StatusCode != http.StatusOK {
+		t.Fatalf("warm solve: %d %s", respW.StatusCode, bodyW)
+	}
+	warmMisses := warmSrv.m.memoMisses.Value()
+	if warmSrv.m.warmStarts.Value() != 1 {
+		t.Fatalf("warm solve did not use the donor (warm_starts=%d)", warmSrv.m.warmStarts.Value())
+	}
+
+	var cold, warm SolveResponse
+	if err := json.Unmarshal(bodyC, &cold); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(bodyW, &warm); err != nil {
+		t.Fatal(err)
+	}
+	if cold.Report.Cycles <= 0 || warm.Report.Cycles <= 0 {
+		t.Fatalf("cycles: cold %v, warm %v", cold.Report.Cycles, warm.Report.Cycles)
+	}
+	rel := math.Abs(float64(warm.Report.Cycles)-float64(cold.Report.Cycles)) / float64(cold.Report.Cycles)
+	if rel > 0.02 {
+		t.Fatalf("warm cycles %v vs cold %v: %.2f%% apart, want <=2%%",
+			warm.Report.Cycles, cold.Report.Cycles, 100*rel)
+	}
+	if warmMisses*2 > coldMisses {
+		t.Fatalf("warm start evaluated %v candidates exactly vs cold %v, want <=50%%",
+			warmMisses, coldMisses)
+	}
+	t.Logf("cold: %v cycles, %v misses; warm: %v cycles, %v misses (%.1f%%)",
+		cold.Report.Cycles, coldMisses, warm.Report.Cycles, warmMisses, 100*warmMisses/coldMisses)
+}
+
+// TestWarmStartColdWithoutStore pins the storeless-server behavior the
+// request doc promises: warm_start=true on a server with no store (or no
+// donor) solves cold and succeeds — the flag only changes the cache key.
+func TestWarmStartColdWithoutStore(t *testing.T) {
+	s, ts := newTestServer(t, Config{Workers: 1})
+	resp, body := postSolve(t, ts, `{"model":"tinyconv","sa_iters":80,"warm_start":true}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("warm solve without store: %d %s", resp.StatusCode, body)
+	}
+	if s.m.warmStarts.Value() != 0 {
+		t.Fatalf("warm_starts = %d on a storeless server", s.m.warmStarts.Value())
+	}
+
+	// warm_start participates in the cache key: the cold spelling of the
+	// same request is a distinct entry, not a cache hit.
+	resp2, _ := postSolve(t, ts, `{"model":"tinyconv","sa_iters":80}`)
+	if src := resp2.Header.Get("X-Adserve-Cache"); src != "miss" {
+		t.Fatalf("cold spelling was %q, want miss (distinct key)", src)
+	}
+}

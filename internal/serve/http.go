@@ -66,16 +66,16 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, http.StatusRequestEntityTooLarge, "request body too large")
 		return
 	}
-	req, err := parseRequest(body, s.cfg.DefaultChains, s.cfg.DefaultSurrogate)
+	req, err := parseRequest(body, s.cfg.DefaultChains, s.cfg.DefaultSurrogate, s.cfg.DefaultWarmStart)
 	if err != nil {
 		s.writeError(w, http.StatusBadRequest, err.Error())
 		return
 	}
 
-	res, fl, err := s.lookup(req)
+	res, src, fl, err := s.lookup(req)
 	switch {
 	case err == nil && res != nil:
-		s.writeResult(w, res, "hit")
+		s.writeResult(w, res, src)
 		return
 	case errors.Is(err, errQueueFull):
 		w.Header().Set("Retry-After", "1")

@@ -59,6 +59,16 @@ type Request struct {
 	// exact; only the searched candidate set differs.)
 	Surrogate *bool `json:"surrogate,omitempty"`
 
+	// WarmStart opts into seeding the search from the persistent
+	// store's best related record (same graph solved under a different
+	// key — typically other hardware). Tri-state like Surrogate: omitted
+	// takes the server's -warm-start default, explicit true/false pins
+	// it. Part of the cache key — a warm-started search explores a
+	// different trajectory, so warm and cold entries are legitimately
+	// different bytes. On a server without a store (or when no donor
+	// exists yet) a warm request simply solves cold.
+	WarmStart *bool `json:"warm_start,omitempty"`
+
 	graph     *graph.Graph // decoded workload
 	graphHash string       // sha256 of the canonical modelio encoding
 	key       string       // full cache key, set by ParseRequest
@@ -94,18 +104,19 @@ const (
 // (fuzzed by FuzzSolveRequest), and parsing the same bytes twice yields
 // the same key.
 func ParseRequest(data []byte) (*Request, error) {
-	return parseRequest(data, 0, false)
+	return parseRequest(data, 0, false, false)
 }
 
 // parseRequest is ParseRequest with server-level defaults applied before
 // normalization: a request that omits "chains" takes defChains (0 keeps
-// the library default of 1) and one that omits "surrogate" takes
-// defSurrogate. Defaults must land before the cache key is computed —
-// the key states the chain count and surrogate mode a cached solution
-// was actually searched with, so an explicit chains=1 (or
-// surrogate=false) request can never be answered from a differently-
-// searched entry or vice versa.
-func parseRequest(data []byte, defChains int, defSurrogate bool) (*Request, error) {
+// the library default of 1), one that omits "surrogate" takes
+// defSurrogate, and one that omits "warm_start" takes defWarm. Defaults
+// must land before the cache key is computed — the key states the chain
+// count, surrogate mode and warm-start mode a cached solution was
+// actually searched with, so an explicit chains=1 (or surrogate=false,
+// or warm_start=false) request can never be answered from a
+// differently-searched entry or vice versa.
+func parseRequest(data []byte, defChains int, defSurrogate, defWarm bool) (*Request, error) {
 	var r Request
 	if err := json.Unmarshal(data, &r); err != nil {
 		return nil, fmt.Errorf("serve: bad request body: %w", err)
@@ -116,6 +127,10 @@ func parseRequest(data []byte, defChains int, defSurrogate bool) (*Request, erro
 	if r.Surrogate == nil {
 		v := defSurrogate
 		r.Surrogate = &v
+	}
+	if r.WarmStart == nil {
+		v := defWarm
+		r.WarmStart = &v
 	}
 	if err := r.normalize(); err != nil {
 		return nil, err
@@ -193,6 +208,10 @@ func (r *Request) normalize() error {
 		f := false
 		r.Surrogate = &f
 	}
+	if r.WarmStart == nil {
+		f := false
+		r.WarmStart = &f
+	}
 	if r.Hardware == nil {
 		r.Hardware = &HardwareSpec{}
 	}
@@ -246,8 +265,8 @@ func (r *Request) Key() string { return r.key }
 func (r *Request) computeKey() string {
 	h := sha256.New()
 	fmt.Fprintf(h, "graph %s\n", r.graphHash)
-	fmt.Fprintf(h, "batch %d seed %d iters %d chains %d tiles %d mode %s trace %t surrogate %t\n",
-		r.Batch, r.Seed, r.SAIters, r.Chains, r.MaxTiles, r.Mode, r.Trace, *r.Surrogate)
+	fmt.Fprintf(h, "batch %d seed %d iters %d chains %d tiles %d mode %s trace %t surrogate %t warm %t\n",
+		r.Batch, r.Seed, r.SAIters, r.Chains, r.MaxTiles, r.Mode, r.Trace, *r.Surrogate, *r.WarmStart)
 	hw := r.Hardware
 	fmt.Fprintf(h, "hw %dx%d link %d buf %d df %s naive %t dbuf %t\n",
 		hw.MeshW, hw.MeshH, hw.LinkBytes, hw.BufferBytes, hw.Dataflow,

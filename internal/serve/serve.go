@@ -34,10 +34,15 @@ import (
 	"time"
 
 	atomicflow "github.com/atomic-dataflow/atomicflow"
+	"github.com/atomic-dataflow/atomicflow/internal/anneal"
 	"github.com/atomic-dataflow/atomicflow/internal/cost"
+	"github.com/atomic-dataflow/atomicflow/internal/engine"
+	"github.com/atomic-dataflow/atomicflow/internal/fleet"
+	"github.com/atomic-dataflow/atomicflow/internal/graph"
 	"github.com/atomic-dataflow/atomicflow/internal/obs"
 	"github.com/atomic-dataflow/atomicflow/internal/obs/dash"
 	"github.com/atomic-dataflow/atomicflow/internal/schedule"
+	"github.com/atomic-dataflow/atomicflow/internal/store"
 )
 
 // Config tunes the server. Zero values select the documented defaults.
@@ -71,6 +76,24 @@ type Config struct {
 	DefaultSurrogate bool
 	// MaxBodyBytes bounds the /solve request body (default 8 MiB).
 	MaxBodyBytes int64
+	// Fleet, when non-nil, distributes non-surrogate portfolio solves
+	// across the coordinator's registered workers; a fleet that is
+	// empty, busy or lost mid-solve falls back to the in-process search
+	// (which is bit-identical for an undegraded fleet, so the cache
+	// stays sound). The server takes over the coordinator's event feed
+	// for its dashboard. The caller owns the coordinator's lifecycle.
+	Fleet *fleet.Coordinator
+	// Store, when non-nil, persists every finished solve: repeat
+	// requests after a restart are served the stored bytes without
+	// re-solving, and warm-start requests seed their search from the
+	// best related record (same graph, different key). The caller owns
+	// the store's directory.
+	Store *store.Store
+	// DefaultWarmStart applies warm-starting to requests that omit
+	// "warm_start" (default off). Like DefaultSurrogate it participates
+	// in the cache key — a warm-started search explores a different
+	// trajectory, so warm and cold entries must stay distinct.
+	DefaultWarmStart bool
 	// Hardware is the base accelerator model requests override (default
 	// atomicflow.DefaultHardware).
 	Hardware *atomicflow.HardwareConfig
@@ -141,6 +164,8 @@ type Server struct {
 	base    atomicflow.HardwareConfig
 	oracle  atomicflow.CostOracle // shared across requests (sharded cache)
 	surr    *atomicflow.SurrogateModel
+	fleet   *fleet.Coordinator // nil: all solves run in-process
+	store   *store.Store       // nil: no persistence, no warm starts
 	dash    *dash.Store
 	cache   *lruCache
 	queue   chan *job
@@ -185,6 +210,15 @@ type serveMetrics struct {
 	memoMisses  *obs.Gauge
 	memoDedups  *obs.Gauge
 	memoSampled *obs.Gauge
+
+	// Fleet and persistent-store visibility (zero-valued and inert when
+	// the server runs without a fleet or store).
+	fleetWorkers   *obs.Gauge
+	fleetSolves    *obs.Counter
+	fleetFallbacks *obs.Counter
+	storeHits      *obs.Counter
+	storeRecords   *obs.Gauge
+	warmStarts     *obs.Counter
 }
 
 // New builds the server and starts its worker pool.
@@ -203,6 +237,8 @@ func New(cfg Config) *Server {
 		reg:     reg,
 		base:    base,
 		oracle:  atomicflow.NewCostOracle(),
+		fleet:   cfg.Fleet,
+		store:   cfg.Store,
 		cache:   newLRU(cfg.cacheEntries()),
 		queue:   make(chan *job, cfg.queueDepth()),
 		baseCtx: ctx,
@@ -233,6 +269,13 @@ func New(cfg Config) *Server {
 		memoMisses:  reg.Gauge("cost_memo_misses"),
 		memoDedups:  reg.Gauge("cost_memo_dedups"),
 		memoSampled: reg.Gauge("cost_memo_sampled"),
+
+		fleetWorkers:   reg.Gauge("serve_fleet_workers"),
+		fleetSolves:    reg.Counter("serve_fleet_solves_total"),
+		fleetFallbacks: reg.Counter("serve_fleet_fallbacks_total"),
+		storeHits:      reg.Counter("serve_store_hits_total"),
+		storeRecords:   reg.Gauge("serve_store_records"),
+		warmStarts:     reg.Counter("serve_warm_starts_total"),
 	}
 	s.m.queueCap.SetInt(int64(cfg.queueDepth()))
 	s.m.workers.SetInt(int64(cfg.workers()))
@@ -244,6 +287,26 @@ func New(cfg Config) *Server {
 	// appends on already-slow paths (request admission, solve lifecycle,
 	// exchange barriers), and bounded memory. Mounted at /debug/dash.
 	s.dash = dash.NewStore(dash.Config{})
+	// The fleet coordinator's lifecycle feed drives the dashboard's
+	// fleet panel; worker join/loss also refreshes the worker gauge.
+	if s.fleet != nil {
+		s.m.fleetWorkers.SetInt(int64(s.fleet.NumWorkers()))
+		s.fleet.SetOnEvent(func(ev fleet.Event) {
+			s.m.fleetWorkers.SetInt(int64(s.fleet.NumWorkers()))
+			kind := dash.EvFleet
+			if ev.Type == "solve_degraded" {
+				kind = dash.EvDegraded
+			}
+			detail := ev.Type
+			if ev.Detail != "" {
+				detail += ": " + ev.Detail
+			}
+			s.dash.Publish(kind, "", ev.Worker, detail)
+		})
+	}
+	if s.store != nil {
+		s.m.storeRecords.SetInt(int64(s.store.Len()))
+	}
 	// One long-lived surrogate trains from every exact evaluation the
 	// shared oracle computes, across all requests — training is a cheap
 	// rank-1 update on the miss path only, and whether a given request
@@ -340,12 +403,26 @@ var (
 	errDraining  = fmt.Errorf("serve: draining")
 )
 
-func (s *Server) lookup(req *Request) (*solveResult, *flight, error) {
+func (s *Server) lookup(req *Request) (*solveResult, string, *flight, error) {
 	if res, ok := s.cache.get(req.Key()); ok {
 		s.m.cacheHits.Inc()
 		s.updateHitRatio()
 		s.dash.Publish(dash.EvCached, solveID(req), modelName(req), "")
-		return res, nil, nil
+		return res, "hit", nil, nil
+	}
+	// The persistent store outlives restarts: a record under this exact
+	// key holds the bytes a previous process served, so answer with them
+	// (and backfill the in-memory LRU) instead of re-solving.
+	if s.store != nil {
+		if rec, ok := s.store.Get(req.Key()); ok && len(rec.Body) > 0 {
+			res := &solveResult{body: rec.Body, digest: rec.Digest}
+			s.cache.add(req.Key(), res)
+			s.m.cacheHits.Inc()
+			s.m.storeHits.Inc()
+			s.updateHitRatio()
+			s.dash.Publish(dash.EvStoreHit, solveID(req), modelName(req), "")
+			return res, "store", nil, nil
+		}
 	}
 	s.m.cacheMiss.Inc()
 	s.updateHitRatio()
@@ -353,14 +430,14 @@ func (s *Server) lookup(req *Request) (*solveResult, *flight, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.draining {
-		return nil, nil, errDraining
+		return nil, "", nil, errDraining
 	}
 	if fl, ok := s.flights[req.Key()]; ok {
 		fl.waiters++
 		s.m.dedup.Inc()
 		s.dash.Publish(dash.EvDedup, solveID(req), modelName(req),
 			fmt.Sprintf("waiters=%d", fl.waiters))
-		return nil, fl, nil
+		return nil, "", fl, nil
 	}
 	jctx, jcancel := context.WithCancel(s.baseCtx)
 	fl := &flight{done: make(chan struct{}), waiters: 1, cancel: jcancel}
@@ -370,12 +447,12 @@ func (s *Server) lookup(req *Request) (*solveResult, *flight, error) {
 		s.m.queueDepth.SetInt(int64(len(s.queue)))
 		s.dash.Publish(dash.EvAdmitted, solveID(req), modelName(req),
 			fmt.Sprintf("queue=%d", len(s.queue)))
-		return nil, fl, nil
+		return nil, "", fl, nil
 	default:
 		jcancel()
 		s.m.rejected.Inc()
 		s.dash.Publish(dash.EvRejected, solveID(req), modelName(req), "queue full")
-		return nil, nil, errQueueFull
+		return nil, "", nil, errQueueFull
 	}
 }
 
@@ -449,10 +526,21 @@ func (s *Server) runJob(jb *job) (*solveResult, error) {
 	if req.Trace {
 		opt.TraceWriter = &traceBuf
 	}
+	// Warm start: seed the search from the store's best related record —
+	// the same graph solved under a different key (typically different
+	// hardware). No donor yet means the request simply solves cold.
+	if *req.WarmStart && s.store != nil {
+		if donor, ok := s.store.Related(req.graphHash, req.Key()); ok && len(donor.Parts) > 0 {
+			opt.WarmStart = donor.Parts
+			s.m.warmStarts.Inc()
+			s.dash.Publish(dash.EvWarmStart, id, model,
+				fmt.Sprintf("donor %.12s (%s)", donor.Key, donor.Model))
+		}
+	}
 	s.dash.SolveStarted(id, model, req.Chains)
 	ready0 := s.surr.Stats().SegmentsReady
 	start := time.Now()
-	sol, err := atomicflow.Orchestrate(req.graph, opt)
+	sol, err := atomicflow.OrchestrateWith(req.graph, opt, s.searchFunc(req))
 	s.publishOracleGauges()
 	// The learned oracle's trust gate is fleet state, not request state:
 	// surface every readiness flip as an event so operators can correlate
@@ -488,6 +576,23 @@ func (s *Server) runJob(jb *job) (*solveResult, error) {
 	}
 	res := &solveResult{body: body, digest: resp.Digest}
 	s.cache.add(req.Key(), res)
+	// Persist the finished solve: the exact bytes for replay after a
+	// restart, plus the solved partitions as warm-start seed material
+	// for related requests. Persistence failure is a log-free downgrade
+	// to cache-only operation, never a request failure.
+	if s.store != nil {
+		if perr := s.store.Put(store.Record{
+			Key:       req.Key(),
+			GraphHash: req.graphHash,
+			Model:     model,
+			Digest:    resp.Digest,
+			Body:      body,
+			Parts:     sol.Partitions(),
+			SavedUnix: time.Now().Unix(),
+		}); perr == nil {
+			s.m.storeRecords.SetInt(int64(s.store.Len()))
+		}
+	}
 	s.dash.SolveFinished(dash.Session{
 		ID: id, Model: model, Chains: req.Chains,
 		DurMS:  time.Since(start).Milliseconds(),
@@ -495,6 +600,40 @@ func (s *Server) runJob(jb *job) (*solveResult, error) {
 		FinalCV: sol.AtomCycleCV,
 	})
 	return res, nil
+}
+
+// searchFunc selects the atom-generation search for one request: the
+// distributed fleet when one is configured and the request is
+// distributable, otherwise nil (OrchestrateWith runs anneal.SA
+// in-process). Surrogate solves stay local — they are pinned to the
+// server's long-lived learned model, which cannot be shipped — as do
+// VerifyDelta solves, whose cross-checking harness is in-process only.
+// Any fleet failure (no workers, a concurrent distributed solve,
+// workers lost before setup) falls back to the in-process portfolio:
+// its result is bit-identical to an undegraded fleet solve, so the
+// cache stays sound either way.
+func (s *Server) searchFunc(req *Request) atomicflow.SearchFunc {
+	if s.fleet == nil || *req.Surrogate || req.VerifyDelta || s.cfg.VerifyDelta {
+		return nil
+	}
+	return func(g *graph.Graph, cfg engine.Config, df engine.Dataflow, aopt anneal.Options) (anneal.Result, error) {
+		ctx := aopt.Ctx
+		if ctx == nil {
+			ctx = context.Background()
+		}
+		res, err := s.fleet.Solve(ctx, g, cfg, df, aopt)
+		if err != nil {
+			if ctx.Err() != nil {
+				return anneal.Result{}, err
+			}
+			s.m.fleetFallbacks.Inc()
+			s.dash.Publish(dash.EvFleet, solveID(req), modelName(req),
+				fmt.Sprintf("fleet unavailable, solving in-process: %v", err))
+			return anneal.SA(g, cfg, df, aopt), nil
+		}
+		s.m.fleetSolves.Inc()
+		return res, nil
+	}
 }
 
 // dashProgress adapts the annealer's per-chain progress samples into the

@@ -1,0 +1,208 @@
+package store
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"github.com/atomic-dataflow/atomicflow/internal/atom"
+)
+
+func rec(key, graph string, at int64) Record {
+	return Record{
+		Key:       key,
+		GraphHash: graph,
+		Model:     "tinyconv",
+		Digest:    "d-" + key,
+		Body:      []byte(`{"digest":"` + key + `"}`),
+		Parts:     map[int]atom.Partition{1: {Hp: 2, Wp: 3, Cop: 4}},
+		SavedUnix: at,
+	}
+}
+
+func TestPutGetRoundTrip(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rec("ab12", "g1", 100)
+	if err := s.Put(r); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := s.Get("ab12")
+	if !ok {
+		t.Fatal("record missing after Put")
+	}
+	if !bytes.Equal(got.Body, r.Body) || got.Digest != r.Digest || got.GraphHash != r.GraphHash {
+		t.Fatalf("round trip mutated the record: %+v", got)
+	}
+	if got.Parts[1] != r.Parts[1] {
+		t.Fatalf("parts mutated: %+v", got.Parts)
+	}
+	if _, ok := s.Get("cd34"); ok {
+		t.Fatal("hit on an absent key")
+	}
+}
+
+func TestReopenServesIdenticalBytes(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rec("ab12", "g1", 100)
+	if err := s.Put(r); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2.Len() != 1 {
+		t.Fatalf("reopened store indexed %d records, want 1", s2.Len())
+	}
+	got, ok := s2.Get("ab12")
+	if !ok || !bytes.Equal(got.Body, r.Body) {
+		t.Fatalf("reopened store does not serve identical bytes: ok=%v body=%q", ok, got.Body)
+	}
+}
+
+func TestCorruptRecordsSkipped(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(rec("ab12", "g1", 100)); err != nil {
+		t.Fatal(err)
+	}
+	// Flip a byte in the stored body: checksum validation must reject it.
+	path := filepath.Join(dir, "ab12.rec")
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-2] ^= 0xff
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// A fresh Open skips it; a Get through the old index drops it.
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2.Len() != 0 {
+		t.Fatalf("corrupt record indexed")
+	}
+	if _, ok := s.Get("ab12"); ok {
+		t.Fatal("corrupt record served")
+	}
+	if s.Len() != 0 {
+		t.Fatal("corrupt record kept in the index after a failed Get")
+	}
+	// Torn temp files and stray content are ignored too.
+	os.WriteFile(filepath.Join(dir, ".put-123"), []byte("torn"), 0o644)
+	os.WriteFile(filepath.Join(dir, "zz.rec"), []byte("junk"), 0o644)
+	s3, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s3.Len() != 0 {
+		t.Fatalf("stray files indexed: %d", s3.Len())
+	}
+}
+
+func TestRecordKeyMustMatchFilename(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(rec("ab12", "g1", 100)); err != nil {
+		t.Fatal(err)
+	}
+	// A record copied under another name must not be served for that name.
+	data, _ := os.ReadFile(filepath.Join(dir, "ab12.rec"))
+	os.WriteFile(filepath.Join(dir, "cd34.rec"), data, 0o644)
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s2.Get("cd34"); ok {
+		t.Fatal("mismatched record served under the wrong key")
+	}
+}
+
+func TestPutRejectsBadKeys(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"", "../escape", "ABCD", "xyz!", "no/slash"} {
+		if err := s.Put(rec(key, "g1", 1)); err == nil {
+			t.Errorf("key %q accepted", key)
+		}
+	}
+}
+
+func TestRelated(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	puts := []Record{
+		rec("aa01", "g1", 100),
+		rec("aa02", "g1", 300),
+		rec("aa03", "g1", 300), // same age as aa02: smaller key wins
+		rec("bb01", "g2", 900),
+	}
+	for _, r := range puts {
+		if err := s.Put(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, ok := s.Related("g1", "zzzz")
+	if !ok || got.Key != "aa02" {
+		t.Fatalf("Related(g1) = %q, %v; want aa02", got.Key, ok)
+	}
+	// The requesting key itself is excluded.
+	got, ok = s.Related("g1", "aa02")
+	if !ok || got.Key != "aa03" {
+		t.Fatalf("Related(g1, exclude aa02) = %q, %v; want aa03", got.Key, ok)
+	}
+	if _, ok := s.Related("g3", ""); ok {
+		t.Fatal("donor invented for an unknown graph")
+	}
+	// Sole record for its graph, excluded: no donor.
+	if _, ok := s.Related("g2", "bb01"); ok {
+		t.Fatal("excluded key returned as its own donor")
+	}
+}
+
+func TestPutReplacesAtomically(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(rec("ab12", "g1", 100)); err != nil {
+		t.Fatal(err)
+	}
+	r2 := rec("ab12", "g1", 200)
+	r2.Body = []byte(`{"digest":"v2"}`)
+	if err := s.Put(r2); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := s.Get("ab12")
+	if !ok || !bytes.Equal(got.Body, r2.Body) {
+		t.Fatalf("replacement not served: %q", got.Body)
+	}
+	// No temp droppings left behind.
+	entries, _ := os.ReadDir(dir)
+	for _, e := range entries {
+		if e.Name() != "ab12.rec" {
+			t.Errorf("stray file %q in store dir", e.Name())
+		}
+	}
+}
