@@ -10,6 +10,7 @@ package atomicflow
 
 import (
 	"fmt"
+	"runtime"
 	"testing"
 
 	"github.com/atomic-dataflow/atomicflow/internal/anneal"
@@ -357,11 +358,11 @@ func BenchmarkDiscussionFlexArray(b *testing.B) {
 	b.ReportMetric(ratio, "planar/flex-time")
 }
 
-// resnetSchedule builds the ResNet-50 atom DAG and Greedy schedule used by
+// modelSchedule builds a model's atom DAG and Greedy schedule used by
 // the hot-path benchmarks, outside the timed region.
-func resnetSchedule(b *testing.B, cfg sim.Config) (*atom.DAG, *schedule.Schedule) {
+func modelSchedule(b *testing.B, model string, cfg sim.Config) (*atom.DAG, *schedule.Schedule) {
 	b.Helper()
-	g, err := LoadModel("resnet50")
+	g, err := LoadModel(model)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -388,7 +389,7 @@ func resnetSchedule(b *testing.B, cfg sim.Config) (*atom.DAG, *schedule.Schedule
 func BenchmarkSimRun(b *testing.B) {
 	cfg := sim.DefaultConfig()
 	cfg.Oracle = cost.Default()
-	d, s := resnetSchedule(b, cfg)
+	d, s := modelSchedule(b, "resnet50", cfg)
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -406,7 +407,7 @@ var benchPlaceSink mapping.Result
 // permutation-search hot path of the mapping stage.
 func BenchmarkPlaceRound(b *testing.B) {
 	cfg := sim.DefaultConfig()
-	d, s := resnetSchedule(b, cfg)
+	d, s := modelSchedule(b, "resnet50", cfg)
 	mesh := noc.NewMesh(8, 8, 32)
 	mapper := mapping.New(mesh, d)
 	// The fullest Round (preferring a non-first one so locate is realistic).
@@ -417,17 +418,13 @@ func BenchmarkPlaceRound(b *testing.B) {
 		}
 	}
 	prev := mapper.PlaceRound(s.Rounds[best-1].Atoms, func(int) int { return -1 })
-	locate := func(id int) int {
-		if e, ok := prev.EngineOf[id]; ok {
-			return e
-		}
-		return -1
-	}
+	locate := prev.Engine
 	round := s.Rounds[best].Atoms
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		benchPlaceSink = mapper.PlaceRoundWeighted(round, locate, nil)
+		mapper.Recycle(&benchPlaceSink) // steady-state: the simulator recycles every Round
 	}
 	b.ReportMetric(float64(len(round)), "atoms/round")
 }
@@ -585,4 +582,67 @@ func BenchmarkOrchestrateScaling(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkSimRunDeep measures sim.Run on the synthetic 1000-layer
+// chain: ~1 atom per Round, thousands of Rounds. This is the pipeline's
+// worst case (no intra-Round work to overlap, maximal per-Round fixed
+// cost), so it guards the "not slower at GOMAXPROCS=1" half of the
+// pipelining contract the same way BenchmarkSimRun guards the speedup.
+func BenchmarkSimRunDeep(b *testing.B) {
+	cfg := sim.DefaultConfig()
+	cfg.Oracle = cost.Default()
+	d, s := modelSchedule(b, "deepchain1k", cfg)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sim.Run(d, s, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(s.NumRounds()), "rounds")
+}
+
+// BenchmarkSimRunPipelined runs the ResNet-50 simulation with the
+// two-stage pipeline pinned at GOMAXPROCS 1 and 4. The /1 point shows
+// the pipeline's scheduling overhead when prep and timing must share a
+// core; the /4 point is where prep(t+1) genuinely overlaps time(t).
+func BenchmarkSimRunPipelined(b *testing.B) {
+	cfg := sim.DefaultConfig()
+	cfg.Oracle = cost.Default()
+	d, s := modelSchedule(b, "resnet50", cfg)
+	for _, procs := range []int{1, 4} {
+		b.Run(fmt.Sprint(procs), func(b *testing.B) {
+			defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(procs))
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := sim.Run(d, s, cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// benchCalibSink keeps the calibration kernel from being elided.
+var benchCalibSink uint64
+
+// BenchmarkCalibration is the machine-speed yardstick of the bench
+// regression gate (cmd/benchgate): a fixed pure-integer xorshift kernel
+// with no allocations, no memory traffic and no dependence on this
+// repository's code. The gate scales every gated benchmark's baseline
+// ns/op by the calibration ratio between the recording machine and the
+// current one, so the >10% regression threshold tracks real code
+// regressions instead of runner hardware differences.
+func BenchmarkCalibration(b *testing.B) {
+	acc := uint64(0x9e3779b97f4a7c15)
+	for i := 0; i < b.N; i++ {
+		for j := 0; j < 1<<14; j++ {
+			acc ^= acc << 13
+			acc ^= acc >> 7
+			acc ^= acc << 17
+		}
+	}
+	benchCalibSink = acc
 }

@@ -37,6 +37,7 @@ import (
 	"syscall"
 	"time"
 
+	af "github.com/atomic-dataflow/atomicflow"
 	"github.com/atomic-dataflow/atomicflow/internal/fleet"
 	"github.com/atomic-dataflow/atomicflow/internal/obs"
 	"github.com/atomic-dataflow/atomicflow/internal/serve"
@@ -58,11 +59,15 @@ func main() {
 		fleetListen = flag.String("fleet-listen", "", "TCP address to accept adworker connections on (empty = no fleet; all solves run in-process)")
 		storeDir    = flag.String("store", "", "directory for the persistent solution store (empty = no persistence)")
 		warm        = flag.Bool("warm-start", false, "default warm-start mode for requests that omit the field (participates in the cache key; needs -store)")
+		simPipe     = flag.Bool("sim-pipeline", true, "overlap round t+1 prep with round t timing in the simulator (bit-identical reports, so not part of the cache key; see DESIGN.md \u00a713)")
 	)
 	flag.Parse()
 
 	reg := obs.New()
+	baseHW := af.DefaultHardware()
+	baseHW.Pipeline = *simPipe
 	cfg := serve.Config{
+		Hardware:         &baseHW,
 		Workers:          *workers,
 		QueueDepth:       *queue,
 		CacheEntries:     *cache,

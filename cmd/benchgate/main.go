@@ -1,0 +1,230 @@
+// Command benchgate is the bench-regression gate: it parses `go test
+// -bench` output, normalizes the gated benchmarks' ns/op against a
+// checked-in baseline using a machine-speed calibration benchmark, and
+// fails (exit 1) when any gated benchmark regressed beyond the
+// threshold. It also writes the full comparison as a JSON artifact
+// (BENCH_sim.json in CI) so every run leaves an inspectable record.
+//
+// Usage:
+//
+//	go test -run xxx -bench 'SimRun|PlaceRound|Calibration' . | tee bench.txt
+//	benchgate -baseline testdata/bench_baseline.json -out BENCH_sim.json bench.txt
+//	benchgate -baseline testdata/bench_baseline.json -update bench.txt   # re-pin
+//
+// Normalization: raw ns/op is not comparable across CI runner
+// generations, so the baseline stores the recording machine's
+// BenchmarkCalibration ns/op (a fixed pure-integer kernel). A gated
+// benchmark's expected value on the current machine is
+//
+//	baseline_ns x current_calibration_ns / baseline_calibration_ns
+//
+// and the gate fails when measured ns/op exceeds expected x (1+threshold).
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// calibration is the yardstick benchmark's canonical (suffix-stripped) name.
+const calibration = "Calibration"
+
+// gated lists the benchmarks the gate enforces; others found in the
+// input are recorded in the artifact but never fail the build.
+var gated = []string{"SimRun", "SimRunDeep", "PlaceRound"}
+
+// baseline is the checked-in reference (testdata/bench_baseline.json).
+type baseline struct {
+	// CalibrationNS is BenchmarkCalibration ns/op on the machine that
+	// recorded the baseline.
+	CalibrationNS float64            `json:"calibration_ns"`
+	Benchmarks    map[string]float64 `json:"benchmarks"` // name -> ns/op
+}
+
+// result is one benchmark's verdict in the JSON artifact.
+type result struct {
+	Name       string  `json:"name"`
+	NSPerOp    float64 `json:"ns_per_op"`
+	BaselineNS float64 `json:"baseline_ns,omitempty"`
+	ExpectedNS float64 `json:"expected_ns,omitempty"` // baseline scaled by calibration
+	Ratio      float64 `json:"ratio,omitempty"`       // measured / expected
+	Gated      bool    `json:"gated"`
+	Regressed  bool    `json:"regressed"`
+}
+
+// artifact is the BENCH_sim.json schema.
+type artifact struct {
+	CalibrationNS float64  `json:"calibration_ns"`
+	ScaleFactor   float64  `json:"scale_factor"` // current/baseline calibration
+	Threshold     float64  `json:"threshold"`
+	Results       []result `json:"results"`
+	Pass          bool     `json:"pass"`
+}
+
+// benchLine matches one `go test -bench` result line, e.g.
+//
+//	BenchmarkSimRun-4   28   84292486 ns/op   9000668 B/op   17463 allocs/op
+//	BenchmarkSimRunPipelined/4-4   44   53053706 ns/op
+var benchLine = regexp.MustCompile(`^Benchmark(\S+)\s+\d+\s+([0-9.]+) ns/op`)
+
+func main() {
+	var (
+		basePath  = flag.String("baseline", "testdata/bench_baseline.json", "checked-in baseline JSON")
+		outPath   = flag.String("out", "", "write the comparison artifact JSON here")
+		update    = flag.Bool("update", false, "rewrite the baseline from this run instead of gating")
+		threshold = flag.Float64("threshold", 0.10, "relative ns/op regression that fails the gate")
+	)
+	flag.Parse()
+
+	in := io.Reader(os.Stdin)
+	if flag.NArg() > 0 {
+		f, err := os.Open(flag.Arg(0))
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		in = f
+	}
+	measured, err := parseBench(in)
+	if err != nil {
+		fatal(err)
+	}
+	calib, ok := measured[calibration]
+	if !ok {
+		fatal(fmt.Errorf("no Benchmark%s in input — the gate cannot normalize for machine speed", calibration))
+	}
+
+	if *update {
+		b := baseline{CalibrationNS: calib, Benchmarks: map[string]float64{}}
+		for _, name := range gated {
+			ns, ok := measured[name]
+			if !ok {
+				fatal(fmt.Errorf("gated benchmark %s missing from input", name))
+			}
+			b.Benchmarks[name] = ns
+		}
+		data, err := json.MarshalIndent(b, "", "  ")
+		if err != nil {
+			fatal(err)
+		}
+		if err := os.WriteFile(*basePath, append(data, '\n'), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("benchgate: baseline rewritten (%s, calibration %.0f ns/op)\n", *basePath, calib)
+		return
+	}
+
+	data, err := os.ReadFile(*basePath)
+	if err != nil {
+		fatal(err)
+	}
+	var base baseline
+	if err := json.Unmarshal(data, &base); err != nil {
+		fatal(fmt.Errorf("%s: %w", *basePath, err))
+	}
+	if base.CalibrationNS <= 0 {
+		fatal(fmt.Errorf("%s: calibration_ns missing or non-positive", *basePath))
+	}
+	scale := calib / base.CalibrationNS
+
+	art := artifact{CalibrationNS: calib, ScaleFactor: scale, Threshold: *threshold, Pass: true}
+	isGated := map[string]bool{}
+	for _, g := range gated {
+		isGated[g] = true
+	}
+	names := make([]string, 0, len(measured))
+	for name := range measured {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		r := result{Name: name, NSPerOp: measured[name], Gated: isGated[name]}
+		if bns, ok := base.Benchmarks[name]; ok {
+			r.BaselineNS = bns
+			r.ExpectedNS = bns * scale
+			r.Ratio = r.NSPerOp / r.ExpectedNS
+			r.Regressed = r.Gated && r.Ratio > 1+*threshold
+		}
+		art.Results = append(art.Results, r)
+	}
+	for _, name := range gated {
+		ns, ok := measured[name]
+		if !ok {
+			fatal(fmt.Errorf("gated benchmark %s missing from input", name))
+		}
+		bns, ok := base.Benchmarks[name]
+		if !ok {
+			fatal(fmt.Errorf("gated benchmark %s missing from baseline %s — re-pin with -update", name, *basePath))
+		}
+		expected := bns * scale
+		ratio := ns / expected
+		verdict := "ok"
+		if ratio > 1+*threshold {
+			verdict = "REGRESSED"
+			art.Pass = false
+		}
+		fmt.Printf("benchgate: %-12s %12.0f ns/op  expected %12.0f  ratio %.3f  %s\n",
+			name, ns, expected, ratio, verdict)
+	}
+
+	if *outPath != "" {
+		data, err := json.MarshalIndent(art, "", "  ")
+		if err != nil {
+			fatal(err)
+		}
+		if err := os.WriteFile(*outPath, append(data, '\n'), 0o644); err != nil {
+			fatal(err)
+		}
+	}
+	if !art.Pass {
+		fmt.Fprintf(os.Stderr, "benchgate: ns/op regression beyond %.0f%% — investigate or re-pin the baseline with -update\n", 100**threshold)
+		os.Exit(1)
+	}
+}
+
+// parseBench extracts name -> ns/op from `go test -bench` output. The
+// -<GOMAXPROCS> suffix is stripped so names are machine-independent;
+// sub-benchmark paths (SimRunPipelined/4) are kept as-is. Duplicate
+// names (e.g. -count>1) keep the LAST measurement.
+func parseBench(r io.Reader) (map[string]float64, error) {
+	out := map[string]float64{}
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		name := m[1]
+		// Strip the trailing -N procs suffix from the last path element.
+		if i := strings.LastIndex(name, "-"); i > 0 {
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				name = name[:i]
+			}
+		}
+		ns, err := strconv.ParseFloat(m[2], 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad ns/op in %q: %w", sc.Text(), err)
+		}
+		out[name] = ns
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no benchmark lines found in input")
+	}
+	return out, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchgate:", err)
+	os.Exit(1)
+}

@@ -84,6 +84,25 @@ func (f Flow) GroupKey() int64 {
 	return -int64(f.Dst) - 1
 }
 
+// Placement resolves an atom to the engine that runs it this Round, or
+// -1 when the atom is not placed. *mapping.Result satisfies it; tests and
+// baselines can use a PlacementMap.
+type Placement interface {
+	Engine(atomID int) int
+}
+
+// PlacementMap adapts a plain atom→engine map to Placement.
+type PlacementMap map[int]int
+
+// Engine implements Placement; absent atoms report -1.
+func (p PlacementMap) Engine(id int) int {
+	e, ok := p[id]
+	if !ok {
+		return -1
+	}
+	return e
+}
+
 // RoundIO is the data movement of one Round, per engine where relevant.
 type RoundIO struct {
 	DRAMReadBytes  []int64 // per engine: weights + off-chip input fetches
@@ -95,6 +114,25 @@ type RoundIO struct {
 	// Reuse accounting for Table II.
 	InputBytesTotal  int64 // all input tensor bytes consumed this Round
 	InputBytesOnChip int64 // the subset served from distributed buffers
+}
+
+// reset prepares io for a new Round of `engines` engines, reusing its
+// per-engine slices and Flows capacity.
+func (io *RoundIO) reset(engines int) {
+	for _, s := range []*[]int64{
+		&io.DRAMReadBytes, &io.DRAMWriteBytes, &io.SRAMReadBytes, &io.SRAMWriteBytes,
+	} {
+		if cap(*s) >= engines {
+			*s = (*s)[:engines]
+			for i := range *s {
+				(*s)[i] = 0
+			}
+		} else {
+			*s = make([]int64, engines)
+		}
+	}
+	io.Flows = io.Flows[:0]
+	io.InputBytesTotal, io.InputBytesOnChip = 0, 0
 }
 
 // Manager replays a schedule against the distributed buffers.
@@ -109,6 +147,12 @@ type Manager struct {
 	buffers   []map[int]*entry // per engine: atomID -> output entry
 	wbuffers  []map[wkey]*entry
 	wholders  map[wkey]map[int]bool // weight slice -> engines caching it
+
+	// HasWeights memo: holder set of atom waID's weight slice (aliases a
+	// wholders value, so it is dropped whenever replay mutates state).
+	waID      int
+	waNone    bool
+	waHolders map[int]bool
 	used      []int64
 	round     int
 	consRound [][]int32        // atom ID -> sorted consumer round list
@@ -116,37 +160,81 @@ type Manager struct {
 
 	evictions int64
 	highWater int64 // largest bytes any engine's buffer ever held
+
+	streamedBy map[wkey]int // ExecuteRound scratch, cleared per Round
 }
 
 // New builds a Manager for the DAG and schedule on `engines` buffers of
 // capacityBytes each.
 func New(d *atom.DAG, s *schedule.Schedule, engines int, capacityBytes int64) (*Manager, error) {
-	if engines <= 0 || capacityBytes <= 0 {
-		return nil, fmt.Errorf("buffer: engines=%d capacity=%d", engines, capacityBytes)
+	m := &Manager{}
+	if err := m.Reset(d, s, engines, capacityBytes); err != nil {
+		return nil, err
 	}
-	m := &Manager{
-		dag:      d,
-		sched:    s,
-		engines:  engines,
-		capacity: capacityBytes,
-		resident: make([]int, d.NumAtoms()),
-		written:  make([]bool, d.NumAtoms()),
-		buffers:  make([]map[int]*entry, engines),
-		wbuffers: make([]map[wkey]*entry, engines),
-		wholders: make(map[wkey]map[int]bool),
-		used:     make([]int64, engines),
-		wRounds:  make(map[wkey][]int32),
+	return m, nil
+}
+
+// Reset re-targets a Manager at a (possibly different) DAG and schedule,
+// reusing its allocations: the resident/written arrays, the per-engine
+// buffer maps and the consumer-round spine survive across runs, which is
+// what lets the simulator pool Managers between sim.Run calls. A freshly
+// Reset Manager replays identically to a freshly New'd one.
+func (m *Manager) Reset(d *atom.DAG, s *schedule.Schedule, engines int, capacityBytes int64) error {
+	if engines <= 0 || capacityBytes <= 0 {
+		return fmt.Errorf("buffer: engines=%d capacity=%d", engines, capacityBytes)
+	}
+	m.dag, m.sched = d, s
+	m.engines, m.capacity = engines, capacityBytes
+	m.waID, m.waNone, m.waHolders = -1, false, nil
+	n := d.NumAtoms()
+	if cap(m.resident) >= n {
+		m.resident = m.resident[:n]
+		m.written = m.written[:n]
+	} else {
+		m.resident = make([]int, n)
+		m.written = make([]bool, n)
 	}
 	for i := range m.resident {
 		m.resident[i] = -1
+		m.written[i] = false
 	}
-	for e := 0; e < engines; e++ {
-		m.buffers[e] = make(map[int]*entry)
-		m.wbuffers[e] = make(map[wkey]*entry)
+	if len(m.buffers) != engines {
+		m.buffers = make([]map[int]*entry, engines)
+		m.wbuffers = make([]map[wkey]*entry, engines)
+		m.used = make([]int64, engines)
+		for e := 0; e < engines; e++ {
+			m.buffers[e] = make(map[int]*entry)
+			m.wbuffers[e] = make(map[wkey]*entry)
+		}
+	} else {
+		for e := 0; e < engines; e++ {
+			clear(m.buffers[e])
+			clear(m.wbuffers[e])
+			m.used[e] = 0
+		}
 	}
+	if m.wholders == nil {
+		m.wholders = make(map[wkey]map[int]bool)
+	} else {
+		clear(m.wholders)
+	}
+	m.round = 0
+	m.evictions, m.highWater = 0, 0
 	// Consumer-round lists (for Algorithm 3's t_next search) and weight
 	// usage rounds.
-	m.consRound = make([][]int32, d.NumAtoms())
+	if cap(m.consRound) >= n {
+		m.consRound = m.consRound[:n]
+		for i := range m.consRound {
+			m.consRound[i] = m.consRound[i][:0]
+		}
+	} else {
+		m.consRound = make([][]int32, n)
+	}
+	if m.wRounds == nil {
+		m.wRounds = make(map[wkey][]int32)
+	} else {
+		clear(m.wRounds)
+	}
 	for _, a := range d.Atoms {
 		r := s.AtomRound[a.ID]
 		if r < 0 {
@@ -165,7 +253,7 @@ func New(d *atom.DAG, s *schedule.Schedule, engines int, capacityBytes int64) (*
 	for k := range m.wRounds {
 		slices.Sort(m.wRounds[k])
 	}
-	return m, nil
+	return nil
 }
 
 // weightKeyOf returns the weight slice an atom needs, if any.
@@ -182,14 +270,26 @@ func weightKeyOf(d *atom.DAG, a *atom.Atom) (wkey, bool) {
 func (m *Manager) Locate(id int) int { return m.resident[id] }
 
 // HasWeights reports whether engine e currently caches the weight slice
-// atom id requires. It implements mapping.WeightLocator.
+// atom id requires. It implements mapping.WeightLocator. Placement
+// queries atom-major (every candidate engine for one atom, then the
+// next atom), so the holder set of the last atom's weight key is
+// memoized: one wholders lookup answers the whole row instead of one
+// struct-keyed map probe per engine. The memo is invalidated whenever
+// buffer state can change (ExecuteRoundInto, Reset).
 func (m *Manager) HasWeights(e, id int) bool {
-	wk, ok := weightKeyOf(m.dag, m.dag.Atoms[id])
-	if !ok {
+	if m.waID != id {
+		m.waID = id
+		wk, ok := weightKeyOf(m.dag, m.dag.Atoms[id])
+		m.waNone = !ok
+		m.waHolders = nil
+		if ok {
+			m.waHolders = m.wholders[wk]
+		}
+	}
+	if m.waNone {
 		return true // no weights needed: placement is free to ignore
 	}
-	_, res := m.wbuffers[e][wk]
-	return res
+	return m.waHolders[e]
 }
 
 // Evictions returns the cumulative number of overflow write-backs.
@@ -204,27 +304,38 @@ func (m *Manager) Capacity() int64 { return m.capacity }
 
 // ExecuteRound replays Round t with the given atom placement and returns
 // its IO. Rounds must be executed in order starting from 0.
-func (m *Manager) ExecuteRound(t int, placement map[int]int) (RoundIO, error) {
+func (m *Manager) ExecuteRound(t int, placement Placement) (RoundIO, error) {
+	var io RoundIO
+	err := m.ExecuteRoundInto(t, placement, &io)
+	return io, err
+}
+
+// ExecuteRoundInto is ExecuteRound writing into a caller-owned RoundIO,
+// reusing its per-engine slices and Flows capacity — the pipelined
+// simulator cycles a small ring of RoundIOs through it so the replay
+// stops allocating after the first few Rounds.
+func (m *Manager) ExecuteRoundInto(t int, placement Placement, io *RoundIO) error {
 	if t != m.round {
-		return RoundIO{}, fmt.Errorf("buffer: ExecuteRound(%d) out of order, want %d", t, m.round)
+		return fmt.Errorf("buffer: ExecuteRound(%d) out of order, want %d", t, m.round)
 	}
 	m.round++
-	io := RoundIO{
-		DRAMReadBytes:  make([]int64, m.engines),
-		DRAMWriteBytes: make([]int64, m.engines),
-		SRAMReadBytes:  make([]int64, m.engines),
-		SRAMWriteBytes: make([]int64, m.engines),
-	}
+	m.waID = -1 // replay mutates holder sets; drop the HasWeights memo
+	io.reset(m.engines)
 	roundAtoms := m.sched.Rounds[t].Atoms
 	// Streamed (uncacheable) weight slices fetched from DRAM are still
 	// broadcast on-chip within the Round: the first engine reads HBM and
 	// forwards to later engines needing the same slice.
-	streamedBy := make(map[wkey]int)
+	if m.streamedBy == nil {
+		m.streamedBy = make(map[wkey]int)
+	} else {
+		clear(m.streamedBy)
+	}
+	streamedBy := m.streamedBy
 	// Phase 1: fetch inputs and weights for every atom in the Round.
 	for _, id := range roundAtoms {
-		e, ok := placement[id]
-		if !ok || e < 0 || e >= m.engines {
-			return io, fmt.Errorf("buffer: atom %d has no valid placement", id)
+		e := placement.Engine(id)
+		if e < 0 || e >= m.engines {
+			return fmt.Errorf("buffer: atom %d has no valid placement", id)
 		}
 		a := m.dag.Atoms[id]
 		for di, dep := range a.Deps {
@@ -260,7 +371,7 @@ func (m *Manager) ExecuteRound(t int, placement map[int]int) (RoundIO, error) {
 				io.Flows = append(io.Flows, Flow{Src: src, Dst: e, Bytes: bytes, Tag: wk.tag()})
 				io.SRAMReadBytes[src] += bytes
 				io.SRAMWriteBytes[e] += bytes
-				m.store(e, &entry{kind: kindWeight, wkey: wk, bytes: bytes}, t, &io)
+				m.store(e, &entry{kind: kindWeight, wkey: wk, bytes: bytes}, t, io)
 			case streamedBy[wk] != 0:
 				// Broadcast of a streamed slice within this Round.
 				src := streamedBy[wk] - 1
@@ -270,7 +381,7 @@ func (m *Manager) ExecuteRound(t int, placement map[int]int) (RoundIO, error) {
 			default:
 				io.DRAMReadBytes[e] += bytes
 				streamedBy[wk] = e + 1
-				m.store(e, &entry{kind: kindWeight, wkey: wk, bytes: bytes}, t, &io)
+				m.store(e, &entry{kind: kindWeight, wkey: wk, bytes: bytes}, t, io)
 			}
 		}
 	}
@@ -284,7 +395,7 @@ func (m *Manager) ExecuteRound(t int, placement map[int]int) (RoundIO, error) {
 	}
 	// Phase 3: store produced outputs.
 	for _, id := range roundAtoms {
-		e := placement[id]
+		e := placement.Engine(id)
 		a := m.dag.Atoms[id]
 		out := a.OutputBytes()
 		io.SRAMWriteBytes[e] += out
@@ -300,10 +411,10 @@ func (m *Manager) ExecuteRound(t int, placement map[int]int) (RoundIO, error) {
 			m.written[id] = true
 			continue
 		}
-		m.store(e, &entry{kind: kindOutput, atom: id, bytes: out}, t, &io)
+		m.store(e, &entry{kind: kindOutput, atom: id, bytes: out}, t, io)
 		m.resident[id] = e
 	}
-	return io, nil
+	return nil
 }
 
 // store inserts an entry into engine e's buffer, evicting per Algorithm 3

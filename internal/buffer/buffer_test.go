@@ -31,8 +31,8 @@ func pipeline(t *testing.T, model string, batch, engines int) (*atom.DAG, *sched
 }
 
 // naivePlacement maps round atoms to engines 0..n-1 in order.
-func naivePlacement(s *schedule.Schedule, t int) map[int]int {
-	p := make(map[int]int)
+func naivePlacement(s *schedule.Schedule, t int) PlacementMap {
+	p := make(PlacementMap)
 	for i, id := range s.Rounds[t].Atoms {
 		p[id] = i
 	}
@@ -231,7 +231,7 @@ func TestInvalidPlacementRejected(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := m.ExecuteRound(0, map[int]int{}); err == nil {
+	if _, err := m.ExecuteRound(0, PlacementMap{}); err == nil {
 		t.Error("missing placement accepted")
 	}
 }

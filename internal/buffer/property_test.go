@@ -33,7 +33,7 @@ func TestCapacityInvariantProperty(t *testing.T) {
 			return false
 		}
 		for rt := range s.Rounds {
-			p := make(map[int]int)
+			p := make(PlacementMap)
 			for i, id := range s.Rounds[rt].Atoms {
 				p[id] = i
 			}
@@ -82,7 +82,7 @@ func TestConservationProperty(t *testing.T) {
 		}
 		var total int64
 		for rt := range s.Rounds {
-			p := make(map[int]int)
+			p := make(PlacementMap)
 			for i, id := range s.Rounds[rt].Atoms {
 				p[id] = i
 			}
@@ -123,7 +123,7 @@ func TestWriteOnceProperty(t *testing.T) {
 	}
 	var written int64
 	for rt := range s.Rounds {
-		p := make(map[int]int)
+		p := make(PlacementMap)
 		for i, id := range s.Rounds[rt].Atoms {
 			p[id] = i
 		}

@@ -104,7 +104,7 @@ func Generate(d *atom.DAG, s *schedule.Schedule, mesh *noc.Mesh, bufferBytes int
 		placed := mapper.PlaceRoundWeighted(round.Atoms, man.Locate, man.HasWeights)
 
 		// Emit receives/sends from the Round's IO.
-		io, err := man.ExecuteRound(t, placed.EngineOf)
+		io, err := man.ExecuteRound(t, placed)
 		if err != nil {
 			return nil, err
 		}
@@ -121,7 +121,7 @@ func Generate(d *atom.DAG, s *schedule.Schedule, mesh *noc.Mesh, bufferBytes int
 			}
 		}
 		for _, id := range round.Atoms {
-			e := placed.EngineOf[id]
+			e := placed.Engine(id)
 			p.Streams[e] = append(p.Streams[e],
 				Instr{Op: OpCompute, Atom: id, Round: t},
 				Instr{Op: OpStore, Atom: id, Bytes: d.Atoms[id].OutputBytes(), Round: t})
@@ -134,6 +134,7 @@ func Generate(d *atom.DAG, s *schedule.Schedule, mesh *noc.Mesh, bufferBytes int
 			}
 			p.Streams[e] = append(p.Streams[e], Instr{Op: OpSync, Round: t})
 		}
+		mapper.Recycle(&placed)
 	}
 	return p, nil
 }

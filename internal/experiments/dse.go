@@ -29,35 +29,50 @@ var Fig12Grids = []int{1, 2, 4, 8, 16}
 // batch does not change the trend.
 func Fig12(cfg Config) ([]Fig12Point, error) {
 	base := cfg.hw()
-	var points []Fig12Point
 	cfg.printf("Fig 12 — scaling engine count at fixed 16384 PEs / 8 MB buffer\n")
 	totalPEside := base.Engine.PEx * 8 // 16x16 per engine on the 8x8 default = 128
 	totalBuffer := int64(base.Engine.BufferBytes) * 64
 	batches := []int{cfg.batch(1), cfg.batch(1) * 2}
+	// Enumerate the sweep up front, solve every point on the worker pool
+	// (each point is an independent search + simulation), then print in
+	// input order.
+	var points []Fig12Point
+	var bufBytes []int // exact per-point buffer size (BufferKB is display-rounded)
 	for _, batch := range batches {
 		for _, name := range cfg.workloads(models.PaperWorkloads) {
-			g := mustModel(name)
 			for _, grid := range Fig12Grids {
-				hw := base
 				peSide := totalPEside / grid
-				hw.Mesh = noc.NewMesh(grid, grid, base.Mesh.LinkBytes)
-				hw.Engine.PEx, hw.Engine.PEy = peSide, peSide
-				hw.Engine.BufferBytes = int(totalBuffer / int64(grid*grid))
-				hw.BufferBytes = int64(hw.Engine.BufferBytes)
-				rep, err := runAD(g, batch, hw, cfg.Mode, cfg.search())
-				if err != nil {
-					return nil, err
-				}
-				p := Fig12Point{
+				bb := int(totalBuffer / int64(grid*grid))
+				points = append(points, Fig12Point{
 					Workload: name, Grid: grid, Engines: grid * grid,
-					PEsPer: peSide, BufferKB: hw.Engine.BufferBytes >> 10,
-					Batch: batch, TimeMS: rep.TimeMS,
-				}
-				points = append(points, p)
-				cfg.printf("  %-14s b%-2d %2dx%-2d engines (%3dx%-3d PEs, %4d KB): %9.3f ms\n",
-					name, batch, grid, grid, peSide, peSide, p.BufferKB, p.TimeMS)
+					PEsPer: peSide, BufferKB: bb >> 10, Batch: batch,
+				})
+				bufBytes = append(bufBytes, bb)
 			}
 		}
+	}
+	errs := make([]error, len(points))
+	forEach(len(points), func(i int) {
+		p := &points[i]
+		g := mustModel(p.Workload)
+		hw := base
+		hw.Mesh = noc.NewMesh(p.Grid, p.Grid, base.Mesh.LinkBytes)
+		hw.Engine.PEx, hw.Engine.PEy = p.PEsPer, p.PEsPer
+		hw.Engine.BufferBytes = bufBytes[i]
+		hw.BufferBytes = int64(hw.Engine.BufferBytes)
+		rep, err := runAD(g, p.Batch, hw, cfg.Mode, cfg.search())
+		if err != nil {
+			errs[i] = err
+			return
+		}
+		p.TimeMS = rep.TimeMS
+	})
+	for i, p := range points {
+		if errs[i] != nil {
+			return nil, errs[i]
+		}
+		cfg.printf("  %-14s b%-2d %2dx%-2d engines (%3dx%-3d PEs, %4d KB): %9.3f ms\n",
+			p.Workload, p.Batch, p.Grid, p.Grid, p.PEsPer, p.PEsPer, p.BufferKB, p.TimeMS)
 	}
 	return points, nil
 }
@@ -89,22 +104,36 @@ var Fig13Buffers = []int{32 << 10, 64 << 10, 128 << 10, 256 << 10, 512 << 10}
 // 128 KB per engine.
 func Fig13(cfg Config) ([]Fig13Point, error) {
 	base := cfg.hw()
-	var points []Fig13Point
 	cfg.printf("Fig 13 — scaling per-engine buffer size\n")
+	// Independent (workload, buffer) points: solve on the worker pool,
+	// print in input order.
+	var points []Fig13Point
+	var bufBytes []int
 	for _, name := range cfg.workloads(models.PaperWorkloads) {
-		g := mustModel(name)
 		for _, buf := range Fig13Buffers {
-			hw := base
-			hw.Engine.BufferBytes = buf
-			hw.BufferBytes = int64(buf)
-			rep, err := runAD(g, cfg.batch(1), hw, cfg.Mode, cfg.search())
-			if err != nil {
-				return nil, err
-			}
-			p := Fig13Point{Workload: name, BufferKB: buf >> 10, TimeMS: rep.TimeMS}
-			points = append(points, p)
-			cfg.printf("  %-14s %4d KB: %9.3f ms\n", name, p.BufferKB, p.TimeMS)
+			points = append(points, Fig13Point{Workload: name, BufferKB: buf >> 10})
+			bufBytes = append(bufBytes, buf)
 		}
+	}
+	errs := make([]error, len(points))
+	forEach(len(points), func(i int) {
+		p := &points[i]
+		g := mustModel(p.Workload)
+		hw := base
+		hw.Engine.BufferBytes = bufBytes[i]
+		hw.BufferBytes = int64(bufBytes[i])
+		rep, err := runAD(g, cfg.batch(1), hw, cfg.Mode, cfg.search())
+		if err != nil {
+			errs[i] = err
+			return
+		}
+		p.TimeMS = rep.TimeMS
+	})
+	for i, p := range points {
+		if errs[i] != nil {
+			return nil, errs[i]
+		}
+		cfg.printf("  %-14s %4d KB: %9.3f ms\n", p.Workload, p.BufferKB, p.TimeMS)
 	}
 	return points, nil
 }

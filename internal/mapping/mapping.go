@@ -4,19 +4,21 @@
 // NoC hops. As in the paper, atoms are laid onto the 2D mesh in zig-zag
 // order with same-layer atoms adjacent, and the free variable is the
 // permutation P of the involved layers; TransferCost(P) = Σ D(i,j) x Size
-// is minimized by exhaustive permutation search for small M and pairwise-
-// swap hill climbing above that.
+// is minimized by branch-and-bound permutation search for small M and
+// pairwise-swap hill climbing above that.
 package mapping
 
 import (
 	"sort"
+	"sync"
 
 	"github.com/atomic-dataflow/atomicflow/internal/atom"
 	"github.com/atomic-dataflow/atomicflow/internal/noc"
 )
 
-// maxExhaustive is the largest layer-group count for which all M!
-// permutations are tried (6! = 720 cost evaluations).
+// maxExhaustive is the largest layer-group count for which the optimal
+// permutation is found exactly (branch-and-bound over at most 6! = 720
+// leaves; pruning typically visits far fewer).
 const maxExhaustive = 6
 
 // Locator reports where an atom's output currently resides: the engine
@@ -33,14 +35,16 @@ type WeightLocator func(engineID, atomID int) bool
 // pJ/bit/hop NoC ≈ 11; rounded down to keep ifmap locality dominant).
 const dramHopEquivalent = 8
 
-// Mapper places Rounds onto a mesh. A Mapper is owned by one goroutine
-// (each sim.Run builds its own): the scratch buffers below are reused
-// across PlaceRound calls so a Round's placement search allocates only
-// its Result.
+// Mapper places Rounds onto a mesh. One goroutine at a time may call
+// PlaceRound/PlaceRoundWeighted (the scratch buffers below are reused
+// across calls), but Recycle is safe to call concurrently with placement:
+// the pipelined simulator recycles round t's Result on the timing
+// goroutine while the prep goroutine is already placing round t+1.
 type Mapper struct {
-	mesh   *noc.Mesh
-	dag    *atom.DAG
-	zigzag []int // engine indices in zig-zag (snake) order
+	mesh    *noc.Mesh
+	dag     *atom.DAG
+	zigzag  []int   // engine indices in zig-zag (snake) order
+	zigHops []int64 // src engine x zig-zag slot -> hop count (row-major)
 
 	// Permutation-search scratch (see buildCostTable).
 	gidx      map[int64]int
@@ -50,19 +54,45 @@ type Mapper struct {
 	bestBuf   []int
 	sizes     []int   // group -> atom count
 	groupCost []int64 // group x base-slot byte-hop costs
-	rowBuf    []int64 // one atom's cost per slot
+	atomRows  []int64 // per-atom cost per slot (row-major; reused by refine)
+	rowOf     []int32 // atom ID -> atomRows row (valid for the current Round)
+	slotOf    []int32 // engine index -> zig-zag slot (current Round)
+	minFrom   []int64 // group x base suffix minima (branch-and-bound bound)
 	ctSlots   int     // slot count of the current table
 
 	// Weight-refinement scratch (see refineForWeights).
 	refEng  []int
 	refPos  []int
 	refCost []int64
+
+	// Result free list (see Recycle). Guarded by freeMu because results
+	// are recycled by the simulator's timing goroutine while the prep
+	// goroutine allocates the next Round's placement.
+	freeMu  sync.Mutex
+	freeEng [][]int32
+	freePl  [][]int
 }
 
 // New returns a Mapper for the DAG on the mesh.
 func New(mesh *noc.Mesh, dag *atom.DAG) *Mapper {
-	m := &Mapper{mesh: mesh, dag: dag, gidx: make(map[int64]int)}
-	m.zigzag = make([]int, 0, mesh.Engines())
+	m := &Mapper{gidx: make(map[int64]int)}
+	m.Reset(mesh, dag)
+	return m
+}
+
+// Reset re-targets a pooled Mapper at a (possibly different) mesh and DAG,
+// keeping its scratch allocations. The recycled-Result free list survives
+// when the atom count is unchanged (entries are sized by NumAtoms) and is
+// dropped otherwise.
+func (m *Mapper) Reset(mesh *noc.Mesh, dag *atom.DAG) {
+	if m.dag != nil && m.dag.NumAtoms() != dag.NumAtoms() {
+		m.freeMu.Lock()
+		m.freeEng = m.freeEng[:0]
+		m.freePl = m.freePl[:0]
+		m.freeMu.Unlock()
+	}
+	m.mesh, m.dag = mesh, dag
+	m.zigzag = m.zigzag[:0]
 	for y := 0; y < mesh.H; y++ {
 		if y%2 == 0 {
 			for x := 0; x < mesh.W; x++ {
@@ -74,14 +104,86 @@ func New(mesh *noc.Mesh, dag *atom.DAG) *Mapper {
 			}
 		}
 	}
-	return m
+	// Hop counts from every source engine to every zig-zag slot, so the
+	// cost-table inner loop reads a contiguous row instead of gathering
+	// through the zigzag permutation per dependency.
+	ne := mesh.Engines()
+	zh := growInt64s(&m.zigHops, ne*ne)
+	for src := 0; src < ne; src++ {
+		hr := mesh.HopsRow(src)
+		for s, e := range m.zigzag {
+			zh[src*ne+s] = int64(hr[e])
+		}
+	}
 }
 
-// Result is the placement of one Round.
+// Result is the placement of one Round. The atom-to-engine assignment is
+// a dense NumAtoms-sized slice (no per-Round map): read it through
+// Engine, iterate the Round's atoms through Placed. Returning a Result to
+// its Mapper with Recycle lets the next Round reuse the slice.
 type Result struct {
-	EngineOf map[int]int // atom ID -> engine index
-	ByteHops int64       // Σ bytes x hops of on-chip input transfers
-	Perms    int         // permutations evaluated (diagnostics)
+	engineOf []int32 // atom ID -> engine index, -1 when not placed
+	placed   []int   // the atom IDs placed this Round, in slot order
+	ByteHops int64   // Σ bytes x hops of on-chip input transfers
+	Perms    int     // permutation-search nodes evaluated (diagnostics)
+}
+
+// Engine returns the engine assigned to atom id, or -1 if the Result does
+// not place it.
+func (r Result) Engine(id int) int {
+	if id < 0 || id >= len(r.engineOf) {
+		return -1
+	}
+	return int(r.engineOf[id])
+}
+
+// Placed returns the atom IDs this Result places, in zig-zag slot order.
+// The slice is owned by the Result; do not retain it past Recycle.
+func (r Result) Placed() []int { return r.placed }
+
+// NumPlaced returns how many atoms the Result places.
+func (r Result) NumPlaced() int { return len(r.placed) }
+
+// Recycle returns res's backing storage to the Mapper for the next
+// PlaceRound call. Only the entries placed by res are cleared, so the
+// cost is O(atoms in the Round), not O(NumAtoms). res must not be used
+// afterwards. Safe to call from a different goroutine than the placer.
+func (m *Mapper) Recycle(res *Result) {
+	if res.engineOf == nil {
+		return
+	}
+	for _, id := range res.placed {
+		res.engineOf[id] = -1
+	}
+	m.freeMu.Lock()
+	m.freeEng = append(m.freeEng, res.engineOf)
+	m.freePl = append(m.freePl, res.placed[:0])
+	m.freeMu.Unlock()
+	res.engineOf, res.placed = nil, nil
+}
+
+// newResult pops a recycled engine slice (all -1) and placed slice, or
+// allocates fresh ones sized for the DAG.
+func (m *Mapper) newResult() ([]int32, []int) {
+	m.freeMu.Lock()
+	var eng []int32
+	var pl []int
+	if n := len(m.freeEng); n > 0 {
+		eng = m.freeEng[n-1]
+		m.freeEng = m.freeEng[:n-1]
+	}
+	if n := len(m.freePl); n > 0 {
+		pl = m.freePl[n-1]
+		m.freePl = m.freePl[:n-1]
+	}
+	m.freeMu.Unlock()
+	if eng == nil {
+		eng = make([]int32, m.dag.NumAtoms())
+		for i := range eng {
+			eng[i] = -1
+		}
+	}
+	return eng, pl
 }
 
 // group is the placement unit: the Round's atoms of one (sample, layer).
@@ -109,23 +211,13 @@ func (m *Mapper) PlaceRoundWeighted(roundAtoms []int, locate Locator, weights We
 		order = append(order, i)
 	}
 	m.orderBuf = order
-	// eval prices one layer permutation in M table lookups; it equals
-	// transferCost(groups, perm, locate) exactly (pinned by tests), so
-	// the search visits and ranks permutations identically.
-	eval := m.permCost
 
 	best := append(m.bestBuf[:0], order...)
 	m.bestBuf = best
-	bestCost := eval(best)
+	bestCost := m.permCost(best)
 	perms := 1
 	if len(groups) > 1 && len(groups) <= maxExhaustive {
-		permute(order, func(p []int) {
-			perms++
-			if c := eval(p); c < bestCost {
-				bestCost = c
-				copy(best, p)
-			}
-		})
+		bestCost, perms = m.branchAndBound(len(groups), best, bestCost)
 	} else if len(groups) > maxExhaustive {
 		// Pairwise-swap hill climbing, restarted until a full pass makes
 		// no improvement.
@@ -136,7 +228,7 @@ func (m *Mapper) PlaceRoundWeighted(roundAtoms []int, locate Locator, weights We
 				for j := i + 1; j < len(best); j++ {
 					best[i], best[j] = best[j], best[i]
 					perms++
-					if c := eval(best); c < bestCost {
+					if c := m.permCost(best); c < bestCost {
 						bestCost = c
 						improved = true
 					} else {
@@ -147,25 +239,135 @@ func (m *Mapper) PlaceRoundWeighted(roundAtoms []int, locate Locator, weights We
 		}
 	}
 
-	res := Result{EngineOf: make(map[int]int, len(roundAtoms)), ByteHops: bestCost, Perms: perms}
+	eng, placed := m.newResult()
+	res := Result{engineOf: eng, placed: placed, ByteHops: bestCost, Perms: perms}
 	slot := 0
 	for _, gi := range best {
 		for _, id := range groups[gi].atoms {
-			res.EngineOf[id] = m.zigzag[slot]
+			res.engineOf[id] = int32(m.zigzag[slot])
+			res.placed = append(res.placed, id)
 			slot++
 		}
 	}
 	if weights != nil {
-		m.refineForWeights(groups, best, res.EngineOf, locate, weights)
-		res.ByteHops = m.placementCost(res.EngineOf, locate)
+		m.refineForWeights(groups, best, res.engineOf, weights)
+		res.ByteHops = m.placementCost(&res, locate)
 	}
 	return res
 }
 
+// branchAndBound searches the M! layer permutations with prefix pruning
+// on the cost table: a prefix is abandoned when its cost plus a lower
+// bound on every unplaced group (the suffix minimum of that group's cost
+// row from the current base slot on) already exceeds the best complete
+// permutation. It returns the best cost and the number of nodes priced.
+//
+// Tie-breaking reproduces the previous exhaustive search exactly (pinned
+// by the golden/determinism digests): that search visited permutations in
+// Heap's-algorithm order starting from the identity and kept the FIRST
+// one achieving the minimum (strict <). Equivalently, ties resolve to the
+// smallest Heap rank — so when a leaf merely equals bestCost, it wins
+// only if its precomputed Heap rank is smaller.
+func (m *Mapper) branchAndBound(M int, best []int, bestCost int64) (int64, int) {
+	slots := m.ctSlots
+	// Suffix minima: minFrom[g*slots+b] = min over b' in [b, maxBase(g)]
+	// of groupCost[g*slots+b'], where maxBase(g) = slots - size(g) is the
+	// last base the group can legally occupy. Bases grow monotonically
+	// along a permutation, so the value at the current base lower-bounds
+	// the group's eventual cost wherever it lands.
+	minFrom := growInt64s(&m.minFrom, M*slots)
+	for g := 0; g < M; g++ {
+		maxBase := slots - m.sizes[g]
+		row := m.groupCost[g*slots : (g+1)*slots]
+		mf := minFrom[g*slots : (g+1)*slots]
+		min := row[maxBase]
+		for b := maxBase; b >= 0; b-- {
+			if row[b] < min {
+				min = row[b]
+			}
+			mf[b] = min
+		}
+	}
+
+	ranks := heapRanks(M)
+	bestRank := ranks[packPerm(best[:M])] // identity start = rank 0
+	nodes := 1
+	var perm [maxExhaustive]int
+	var dfs func(depth, base int, used uint32, prefix int64)
+	dfs = func(depth, base int, used uint32, prefix int64) {
+		if depth == M {
+			nodes++
+			if r := ranks[packPerm(perm[:M])]; prefix < bestCost ||
+				(prefix == bestCost && r < bestRank) {
+				bestCost, bestRank = prefix, r
+				copy(best, perm[:M])
+			}
+			return
+		}
+		// Prune only on strictly-greater bounds: an equal bound may still
+		// hide an equal-cost leaf with a smaller Heap rank.
+		lb := prefix
+		for g := 0; g < M; g++ {
+			if used&(1<<g) == 0 {
+				lb += minFrom[g*slots+base]
+			}
+		}
+		if lb > bestCost {
+			return
+		}
+		for g := 0; g < M; g++ {
+			if used&(1<<g) != 0 {
+				continue
+			}
+			perm[depth] = g
+			dfs(depth+1, base+m.sizes[g], used|1<<g, prefix+m.groupCost[g*slots+base])
+		}
+	}
+	dfs(0, 0, 0, 0)
+	return bestCost, nodes
+}
+
+// packPerm encodes a permutation of 0..len-1 (len ≤ 6) into 3 bits per
+// element — the key of the Heap-rank tables.
+func packPerm(p []int) uint32 {
+	var k uint32
+	for _, v := range p {
+		k = k<<3 | uint32(v)
+	}
+	return k
+}
+
+var (
+	heapRankTabs [maxExhaustive + 1]map[uint32]int
+	heapRankOnce [maxExhaustive + 1]sync.Once
+)
+
+// heapRanks returns the table mapping each packed permutation of 0..n-1
+// to its visit rank under Heap's algorithm (identity = 0) — the tie-break
+// order of the historical exhaustive search. Built once per n, at most
+// 720 entries.
+func heapRanks(n int) map[uint32]int {
+	heapRankOnce[n].Do(func() {
+		tab := make(map[uint32]int)
+		ord := make([]int, n)
+		for i := range ord {
+			ord[i] = i
+		}
+		rank := 0
+		permute(ord, func(p []int) {
+			tab[packPerm(p)] = rank
+			rank++
+		})
+		heapRankTabs[n] = tab
+	})
+	return heapRankTabs[n]
+}
+
 // placementCost recomputes the ifmap byte-hop cost of a final placement.
-func (m *Mapper) placementCost(engineOf map[int]int, locate Locator) int64 {
+func (m *Mapper) placementCost(res *Result, locate Locator) int64 {
 	var cost int64
-	for id, dst := range engineOf {
+	for _, id := range res.placed {
+		dst := int(res.engineOf[id])
 		a := m.dag.Atoms[id]
 		for di, dep := range a.Deps {
 			src := locate(dep)
@@ -178,45 +380,17 @@ func (m *Mapper) placementCost(engineOf map[int]int, locate Locator) int64 {
 	return cost
 }
 
-// fillAtomCosts writes into cost[i*n+j] the price of running atoms[i] on
-// eng[j]: ifmap fetch hops plus the DRAM-equivalent cost of a weight
-// slice the engine does not hold. Dependencies are resolved once per
-// atom and priced against a shared hop row, not once per engine pair.
-func (m *Mapper) fillAtomCosts(atoms, eng []int, cost []int64, locate Locator, weights WeightLocator) {
-	n := len(eng)
-	for i, id := range atoms {
-		a := m.dag.Atoms[id]
-		ci := cost[i*n : (i+1)*n]
-		for j := range ci {
-			ci[j] = 0
-		}
-		for di, dep := range a.Deps {
-			src := locate(dep)
-			if src < 0 {
-				continue
-			}
-			bytes := a.DepBytes[di]
-			hr := m.mesh.HopsRow(src)
-			for j, e := range eng {
-				ci[j] += bytes * int64(hr[e])
-			}
-		}
-		wb := a.Task.WeightBytes() * dramHopEquivalent
-		for j, e := range eng {
-			if !weights(e, id) {
-				ci[j] += wb
-			}
-		}
-	}
-}
-
 // refineForWeights hill-climbs within each group's slots, swapping atom
 // pairs whenever the combined cost drops. The group's candidate engines
 // are fixed by the permutation (swaps only permute atoms among them), and
 // buffer residency does not change during placement, so every atom-engine
-// cost is precomputed into one dense n x n matrix and each swap check is
-// four lookups — this was the simulator's hottest path before.
-func (m *Mapper) refineForWeights(groups []group, perm []int, engineOf map[int]int, locate Locator, weights WeightLocator) {
+// cost — ifmap fetch hops plus the DRAM-equivalent price of a weight
+// slice the engine does not hold — is assembled into one dense n x n
+// matrix and each swap check is four lookups. The ifmap hop term is not
+// recomputed here at all: buildCostTable already priced every (atom,
+// slot) pair, so the matrix is filled from its cached rows.
+func (m *Mapper) refineForWeights(groups []group, perm []int, engineOf []int32, weights WeightLocator) {
+	slots := m.ctSlots
 	for _, gi := range perm {
 		atoms := groups[gi].atoms
 		n := len(atoms)
@@ -225,10 +399,21 @@ func (m *Mapper) refineForWeights(groups []group, perm []int, engineOf map[int]i
 		}
 		eng := growInts(&m.refEng, n)
 		for j, id := range atoms {
-			eng[j] = engineOf[id]
+			eng[j] = int(engineOf[id])
 		}
 		cost := growInt64s(&m.refCost, n*n)
-		m.fillAtomCosts(atoms, eng, cost, locate, weights)
+		for i, id := range atoms {
+			row := m.atomRows[int(m.rowOf[id])*slots : (int(m.rowOf[id])+1)*slots]
+			ci := cost[i*n : (i+1)*n]
+			wb := m.dag.Atoms[id].Task.WeightBytes() * dramHopEquivalent
+			for j, e := range eng {
+				c := row[m.slotOf[e]]
+				if !weights(e, id) {
+					c += wb
+				}
+				ci[j] = c
+			}
+		}
 		// pos[i] is the slot (index into eng) atom i currently occupies.
 		pos := growInts(&m.refPos, n)
 		for i := range pos {
@@ -250,7 +435,7 @@ func (m *Mapper) refineForWeights(groups []group, perm []int, engineOf map[int]i
 			}
 		}
 		for i, id := range atoms {
-			engineOf[id] = eng[pos[i]]
+			engineOf[id] = int32(eng[pos[i]])
 		}
 	}
 }
@@ -269,7 +454,19 @@ func (m *Mapper) buildCostTable(groups []group, locate Locator) {
 	m.ctSlots = slots
 	sizes := growInts(&m.sizes, len(groups))
 	groupCost := growInt64s(&m.groupCost, len(groups)*slots)
-	row := growInt64s(&m.rowBuf, slots)
+	// Each atom's per-slot cost row is kept (with a lookup index by atom
+	// ID and an engine -> slot inverse) so refineForWeights can price
+	// intra-group swaps without re-walking any dependency lists. Stale
+	// rowOf/slotOf entries from earlier Rounds are never read: refinement
+	// only queries this Round's atoms and slot engines.
+	ne := m.mesh.Engines()
+	atomRows := growInt64s(&m.atomRows, slots*slots)
+	rowOf := growInt32s(&m.rowOf, m.dag.NumAtoms())
+	slotOf := growInt32s(&m.slotOf, ne)
+	for s := 0; s < slots; s++ {
+		slotOf[m.zigzag[s]] = int32(s)
+	}
+	r := 0
 	for gi, g := range groups {
 		sizes[gi] = len(g.atoms)
 		gc := groupCost[gi*slots : (gi+1)*slots]
@@ -278,6 +475,9 @@ func (m *Mapper) buildCostTable(groups []group, locate Locator) {
 		}
 		for k, id := range g.atoms {
 			a := m.dag.Atoms[id]
+			row := atomRows[r*slots : (r+1)*slots]
+			rowOf[id] = int32(r)
+			r++
 			for s := range row {
 				row[s] = 0
 			}
@@ -287,9 +487,9 @@ func (m *Mapper) buildCostTable(groups []group, locate Locator) {
 					continue
 				}
 				bytes := a.DepBytes[di]
-				hr := m.mesh.HopsRow(src)
-				for s, e := range m.zigzag[:slots] {
-					row[s] += bytes * int64(hr[e])
+				zh := m.zigHops[src*ne : src*ne+slots]
+				for s, h := range zh {
+					row[s] += bytes * h
 				}
 			}
 			// A group at base b puts its k-th atom on slot b+k.
@@ -317,6 +517,15 @@ func (m *Mapper) permCost(perm []int) int64 {
 func growInts(buf *[]int, n int) []int {
 	if cap(*buf) < n {
 		*buf = make([]int, n)
+	}
+	*buf = (*buf)[:n]
+	return *buf
+}
+
+// growInt32s returns *buf resized to n, reusing its capacity.
+func growInt32s(buf *[]int32, n int) []int32 {
+	if cap(*buf) < n {
+		*buf = make([]int32, n)
 	}
 	*buf = (*buf)[:n]
 	return *buf
@@ -389,7 +598,9 @@ func (m *Mapper) transferCost(groups []group, perm []int, locate Locator) int64 
 }
 
 // permute calls visit with every permutation of order (Heap's algorithm).
-// visit must not retain the slice.
+// visit must not retain the slice. It remains the executable definition
+// of the historical search order the branch-and-bound tie-break
+// reproduces (and builds the Heap-rank tables).
 func permute(order []int, visit func([]int)) {
 	n := len(order)
 	c := make([]int, n)

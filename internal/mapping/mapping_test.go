@@ -70,12 +70,7 @@ func TestPlaceRoundReducesHops(t *testing.T) {
 
 	// Round t: place layers 1 and 2 with the identity permutation.
 	r0 := m.PlaceRound(prev, func(int) int { return -1 })
-	locate := func(id int) int {
-		if e, ok := r0.EngineOf[id]; ok {
-			return e
-		}
-		return -1
-	}
+	locate := r0.Engine
 
 	// Round t+1: the mapper's choice must beat or match the worst
 	// permutation's cost.
@@ -86,10 +81,10 @@ func TestPlaceRoundReducesHops(t *testing.T) {
 		a := d.Atoms[id]
 		for di, dep := range a.Deps {
 			src := locate(dep)
-			if src < 0 || src == r1.EngineOf[id] {
+			if src < 0 || src == r1.Engine(id) {
 				continue
 			}
-			chosen += a.DepBytes[di] * int64(mesh.Hops(src, r1.EngineOf[id]))
+			chosen += a.DepBytes[di] * int64(mesh.Hops(src, r1.Engine(id)))
 		}
 	}
 	if chosen != r1.ByteHops {
@@ -137,8 +132,8 @@ func TestPlacementIsInjective(t *testing.T) {
 	res := m.PlaceRound(round, func(int) int { return -1 })
 	seen := make(map[int]bool)
 	for _, id := range round {
-		e, ok := res.EngineOf[id]
-		if !ok {
+		e := res.Engine(id)
+		if e < 0 {
 			t.Fatalf("atom %d unplaced", id)
 		}
 		if seen[e] {
@@ -160,7 +155,7 @@ func TestSameLayerAtomsAdjacent(t *testing.T) {
 	}
 	byLayer := map[int][]int{}
 	for _, id := range prev {
-		byLayer[d.Atoms[id].Layer] = append(byLayer[d.Atoms[id].Layer], slotOf[res.EngineOf[id]])
+		byLayer[d.Atoms[id].Layer] = append(byLayer[d.Atoms[id].Layer], slotOf[res.Engine(id)])
 	}
 	for layer, slots := range byLayer {
 		lo, hi := slots[0], slots[0]
@@ -187,12 +182,7 @@ func TestCostTableMatchesTransferCost(t *testing.T) {
 	mesh := noc.NewMesh(3, 3, 8) // 9 slots: fits the 9-atom synthetic Round
 	m := New(mesh, d)
 	r0 := m.PlaceRound(prev, func(int) int { return -1 })
-	locate := func(id int) int {
-		if e, ok := r0.EngineOf[id]; ok {
-			return e
-		}
-		return -1
-	}
+	locate := r0.Engine
 	// Synthetic 3-group Round: cur holds one group per layer after
 	// grouping, so extend it with prev's layers for a multi-group case.
 	round := append(append([]int(nil), cur...), prev...)
@@ -227,12 +217,12 @@ func TestPlaceRoundScratchReuse(t *testing.T) {
 		}
 		got := shared.PlaceRound(atoms, none)
 		want := New(mesh, d).PlaceRound(atoms, none)
-		if got.ByteHops != want.ByteHops || len(got.EngineOf) != len(want.EngineOf) {
+		if got.ByteHops != want.ByteHops || got.NumPlaced() != want.NumPlaced() {
 			t.Fatalf("round %d: reused mapper differs: %+v vs %+v", round, got, want)
 		}
-		for id, e := range want.EngineOf {
-			if got.EngineOf[id] != e {
-				t.Fatalf("round %d: atom %d on engine %d, want %d", round, id, got.EngineOf[id], e)
+		for _, id := range want.Placed() {
+			if got.Engine(id) != want.Engine(id) {
+				t.Fatalf("round %d: atom %d on engine %d, want %d", round, id, got.Engine(id), want.Engine(id))
 			}
 		}
 	}
@@ -265,11 +255,12 @@ func TestHillClimbManyGroups(t *testing.T) {
 		}
 	}
 	res := m.PlaceRound(round, func(int) int { return -1 })
-	if len(res.EngineOf) != 9 {
-		t.Fatalf("placed %d atoms, want 9", len(res.EngineOf))
+	if res.NumPlaced() != 9 {
+		t.Fatalf("placed %d atoms, want 9", res.NumPlaced())
 	}
 	seen := make(map[int]bool)
-	for _, e := range res.EngineOf {
+	for _, id := range res.Placed() {
+		e := res.Engine(id)
 		if seen[e] {
 			t.Fatal("duplicate engine assignment")
 		}

@@ -54,7 +54,7 @@ func TestWeightAffinityRefinement(t *testing.T) {
 	r1 := m.PlaceRound(first, func(int) int { return -1 })
 	sliceEngine := map[int]int{} // c0 -> engine
 	for _, id := range first {
-		sliceEngine[d.Atoms[id].Region.C0] = r1.EngineOf[id]
+		sliceEngine[d.Atoms[id].Region.C0] = r1.Engine(id)
 	}
 
 	// Round 2: weights for slice c0 are cached exactly where round 1 ran
@@ -67,9 +67,9 @@ func TestWeightAffinityRefinement(t *testing.T) {
 	// are zero here, so weight affinity decides).
 	for _, id := range second {
 		want := sliceEngine[d.Atoms[id].Region.C0]
-		if r2.EngineOf[id] != want {
+		if r2.Engine(id) != want {
 			t.Errorf("atom %d (c0=%d) on engine %d, want %d (weight holder)",
-				id, d.Atoms[id].Region.C0, r2.EngineOf[id], want)
+				id, d.Atoms[id].Region.C0, r2.Engine(id), want)
 		}
 	}
 }

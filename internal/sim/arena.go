@@ -1,7 +1,6 @@
 package sim
 
 import (
-	"cmp"
 	"slices"
 
 	"github.com/atomic-dataflow/atomicflow/internal/buffer"
@@ -46,18 +45,29 @@ type arena struct {
 	roundStamp int64
 	groupStamp int64
 
-	flows   []keyedFlow // sort scratch for simulateFlows
-	engines []int       // per-Round engine list scratch
+	// Stamp values when the current run acquired this arena — pooled
+	// arenas keep counting monotonically, so per-run epoch metrics are
+	// the deltas against these.
+	runRound0 int64
+	runGroup0 int64
+
+	sorter flowSorter // sort scratch for simulateFlows
 
 	// linkTraffic, when non-nil, accumulates bytes per link ID across the
 	// whole Run (metrics scratch owned by simMetrics; nil when disabled).
 	linkTraffic []int64
 }
 
-// keyedFlow pairs a flow with its precomputed multicast-group key.
+// keyedFlow is one entry of the deterministic link-claim order: the
+// flow's index plus its precomputed sort key. okey encodes (|key|, key)
+// in one word — |key|<<1 with the low bit set for positive keys — so the
+// sort comparator is three integer compares instead of recomputing
+// absolute values per comparison. The element is 24 bytes (vs 40 for a
+// key + embedded Flow), which also cuts swap traffic during the sort.
 type keyedFlow struct {
-	key int64
-	f   buffer.Flow
+	okey     uint64
+	src, dst int32
+	idx      int32
 }
 
 // newArena sizes the scratch for the mesh.
@@ -75,6 +85,17 @@ func newArena(mesh *noc.Mesh) *arena {
 		dramReady:  make([]int64, ne),
 		dramStamp:  make([]int64, ne),
 	}
+}
+
+// reset re-targets a pooled arena at a new mesh. The pool key guarantees
+// the new mesh has the same link and engine counts, so the dense slices
+// keep their sizes, and the epoch stamps are monotonic — stale slots from
+// the previous run read as absent without any clearing.
+func (a *arena) reset(mesh *noc.Mesh) {
+	a.mesh = mesh
+	a.linkTraffic = nil
+	a.runRound0 = a.roundStamp
+	a.runGroup0 = a.groupStamp
 }
 
 // beginRound invalidates all per-Round state.
@@ -102,49 +123,115 @@ func (a *arena) getNoCReady(e int) (int64, bool) {
 	return a.ready[e], a.readyStamp[e] == a.roundStamp
 }
 
-// simulateFlows is the dense counterpart of simulateFlowsReference: it
-// serializes the Round's flows on shared links in the same deterministic
-// order and records per-destination arrival times in a.ready, returning
-// the Round's byte-hop volume. beginRound must have been called.
-func (a *arena) simulateFlows(flows []buffer.Flow, start int64) int64 {
-	kf := a.flows[:0]
-	for _, f := range flows {
-		kf = append(kf, keyedFlow{key: f.GroupKey(), f: f})
-	}
-	a.flows = kf
-	slices.SortFunc(kf, func(x, y keyedFlow) int {
-		if x.f.Src != y.f.Src {
-			return cmp.Compare(x.f.Src, y.f.Src)
-		}
-		ax, ay := x.key, y.key
-		if ax < 0 {
-			ax = -ax
-		}
-		if ay < 0 {
-			ay = -ay
-		}
-		if ax != ay {
-			return cmp.Compare(ax, ay)
-		}
-		if x.key != y.key {
-			return cmp.Compare(x.key, y.key)
-		}
-		return cmp.Compare(x.f.Dst, y.f.Dst)
-	})
+// flowSorter holds the reusable scratch of sortFlows: the keyed order,
+// an unsorted staging buffer and the per-source bucket offsets of the
+// counting pass.
+type flowSorter struct {
+	kf  []keyedFlow
+	tmp []keyedFlow
+	off []int32
+}
 
+// cmpKeyed orders two same-source keyed flows: ascending (|key|, key)
+// via the okey encoding, then Dst.
+func cmpKeyed(x, y keyedFlow) int {
+	if x.okey != y.okey {
+		if x.okey < y.okey {
+			return -1
+		}
+		return 1
+	}
+	return int(x.dst - y.dst)
+}
+
+// sort builds the deterministic link-claim order of a Round's flows:
+// ascending (Src, |key|, key, Dst), exactly the order the map-based
+// reference path iterates in. Sources are engine indices, so flows are
+// first scattered into per-source buckets by one counting pass, and
+// only each bucket is comparison-sorted (by the remaining two-field
+// key) — many small cache-resident sorts instead of one large one. The
+// order is a pure function of the flow list, so the pipeline runs this
+// in the prep stage.
+func (fs *flowSorter) sort(flows []buffer.Flow) []keyedFlow {
+	tmp := fs.tmp[:0]
+	maxSrc := int32(-1)
+	for i, f := range flows {
+		k := f.GroupKey()
+		ok := uint64(k)<<1 | 1
+		if k < 0 {
+			ok = uint64(-k) << 1
+		}
+		src := int32(f.Src)
+		if src > maxSrc {
+			maxSrc = src
+		}
+		tmp = append(tmp, keyedFlow{okey: ok, src: src, dst: int32(f.Dst), idx: int32(i)})
+	}
+	fs.tmp = tmp
+	if len(tmp) == 0 {
+		return fs.kf[:0]
+	}
+
+	nb := int(maxSrc) + 2
+	if cap(fs.off) < nb {
+		fs.off = make([]int32, nb)
+	}
+	off := fs.off[:nb]
+	for i := range off {
+		off[i] = 0
+	}
+	for _, e := range tmp {
+		off[e.src+1]++
+	}
+	for s := 1; s < nb; s++ {
+		off[s] += off[s-1]
+	}
+	if cap(fs.kf) < len(tmp) {
+		fs.kf = make([]keyedFlow, len(tmp))
+	}
+	kf := fs.kf[:len(tmp)]
+	for _, e := range tmp {
+		kf[off[e.src]] = e
+		off[e.src]++
+	}
+	// After the scatter, off[s] is the END of bucket s.
+	lo := int32(0)
+	for s := 0; s <= int(maxSrc); s++ {
+		hi := off[s]
+		if hi-lo > 1 {
+			slices.SortFunc(kf[lo:hi], cmpKeyed)
+		}
+		lo = hi
+	}
+	return kf
+}
+
+// simulateFlows sorts and walks in one call — the single-stage entry
+// point used by tests; the pipeline calls flowSorter.sort and walkFlows
+// from their respective stages.
+func (a *arena) simulateFlows(flows []buffer.Flow, start int64) int64 {
+	return a.walkFlows(flows, a.sorter.sort(flows), start)
+}
+
+// walkFlows is the dense counterpart of simulateFlowsReference: it
+// serializes the Round's flows on shared links in the order kf (from
+// sortFlows) and records per-destination arrival times in a.ready,
+// returning the Round's byte-hop volume. beginRound must have been
+// called.
+func (a *arena) walkFlows(flows []buffer.Flow, kf []keyedFlow, start int64) int64 {
 	hop := a.mesh.HopCycles
 	linkBytes := int64(a.mesh.LinkBytes)
 	var byteHops int64
 	for gi := 0; gi < len(kf); {
 		gj := gi + 1
-		for gj < len(kf) && kf[gj].f.Src == kf[gi].f.Src && kf[gj].key == kf[gi].key {
+		for gj < len(kf) && kf[gj].src == kf[gi].src && kf[gj].okey == kf[gi].okey {
 			gj++
 		}
 		group := kf[gi:gj]
-		bytes := group[0].f.Bytes
+		bytes := flows[group[0].idx].Bytes
 		for _, e := range group[1:] {
-			if e.f.Bytes > bytes {
-				bytes = e.f.Bytes
+			if b := flows[e.idx].Bytes; b > bytes {
+				bytes = b
 			}
 		}
 		ser := (bytes + linkBytes - 1) / linkBytes
@@ -155,10 +242,9 @@ func (a *arena) simulateFlows(flows []buffer.Flow, start int64) int64 {
 		a.groupStamp++
 		treeLinks := int64(0)
 		for _, e := range group {
-			f := e.f
 			head := start
 			lastStart := start
-			route := a.mesh.RouteIDs(f.Src, f.Dst)
+			route := a.mesh.RouteIDs(int(e.src), int(e.dst))
 			for _, id := range route {
 				var s int64
 				if a.startStamp[id] == a.groupStamp {
@@ -184,8 +270,8 @@ func (a *arena) simulateFlows(flows []buffer.Flow, start int64) int64 {
 			if len(route) > 0 {
 				arrive = lastStart + ser + hop
 			}
-			if r, ok := a.getNoCReady(f.Dst); !ok || arrive > r {
-				a.setNoCReady(f.Dst, arrive)
+			if r, ok := a.getNoCReady(int(e.dst)); !ok || arrive > r {
+				a.setNoCReady(int(e.dst), arrive)
 			}
 		}
 		byteHops += bytes * treeLinks

@@ -14,14 +14,16 @@ import (
 // with metrics disabled (cfg.Metrics == nil) newSimMetrics returns nil so
 // the loop's single `sm != nil` checks are the whole cost.
 type simMetrics struct {
-	rounds        *obs.Counter
-	flows         *obs.Counter
-	mapPerms      *obs.Counter
-	mapByteHops   *obs.Counter
-	roundSpan     *obs.Histogram
-	barrierWait   *obs.Histogram
-	nocBlockHist  *obs.Histogram
-	dramBlockHist *obs.Histogram
+	rounds         *obs.Counter
+	flows          *obs.Counter
+	mapPerms       *obs.Counter
+	mapByteHops    *obs.Counter
+	pipelineStalls *obs.Counter // Rounds where timing waited on prep
+	poolReuse      *obs.Counter // Runs served from the runState pool
+	roundSpan      *obs.Histogram
+	barrierWait    *obs.Histogram
+	nocBlockHist   *obs.Histogram
+	dramBlockHist  *obs.Histogram
 
 	busy []*obs.Counter // per-engine compute cycles
 	idle []*obs.Counter // per-engine cycles not computing within Rounds
@@ -47,20 +49,22 @@ func newSimMetrics(reg *obs.Registry, mesh *noc.Mesh) *simMetrics {
 	}
 	n := mesh.Engines()
 	sm := &simMetrics{
-		rounds:        reg.Counter("sim_rounds_total"),
-		flows:         reg.Counter("noc_flows_total"),
-		mapPerms:      reg.Counter("mapping_permutations_total"),
-		mapByteHops:   reg.Counter("mapping_byte_hops_total"),
-		roundSpan:     reg.Histogram("sim_round_span_cycles", cycleBuckets()),
-		barrierWait:   reg.Histogram("sim_barrier_wait_cycles", cycleBuckets()),
-		nocBlockHist:  reg.Histogram("sim_round_noc_block_cycles", cycleBuckets()),
-		dramBlockHist: reg.Histogram("sim_round_dram_block_cycles", cycleBuckets()),
-		busy:          make([]*obs.Counter, n),
-		idle:          make([]*obs.Counter, n),
-		linkBytes:     make([]int64, mesh.NumLinks()),
-		compOf:        make([]int64, n),
-		reg:           reg,
-		mesh:          mesh,
+		rounds:         reg.Counter("sim_rounds_total"),
+		flows:          reg.Counter("noc_flows_total"),
+		mapPerms:       reg.Counter("mapping_permutations_total"),
+		mapByteHops:    reg.Counter("mapping_byte_hops_total"),
+		pipelineStalls: reg.Counter("sim_pipeline_stalls_total"),
+		poolReuse:      reg.Counter("sim_pool_reuse_total"),
+		roundSpan:      reg.Histogram("sim_round_span_cycles", cycleBuckets()),
+		barrierWait:    reg.Histogram("sim_barrier_wait_cycles", cycleBuckets()),
+		nocBlockHist:   reg.Histogram("sim_round_noc_block_cycles", cycleBuckets()),
+		dramBlockHist:  reg.Histogram("sim_round_dram_block_cycles", cycleBuckets()),
+		busy:           make([]*obs.Counter, n),
+		idle:           make([]*obs.Counter, n),
+		linkBytes:      make([]int64, mesh.NumLinks()),
+		compOf:         make([]int64, n),
+		reg:            reg,
+		mesh:           mesh,
 	}
 	for e := 0; e < n; e++ {
 		sm.busy[e] = reg.Counter(obs.Name("sim_engine_busy_cycles", "engine", e))
@@ -131,8 +135,8 @@ func (sm *simMetrics) finish(rep *Report, man *buffer.Manager, hbm *dram.HBM, or
 	reg.Counter("sim_noc_blocked_cycles_total").Add(rep.NoCBlockedCycles)
 	reg.Counter("sim_dram_blocked_cycles_total").Add(rep.DRAMBlockedCycles)
 	reg.Counter("sim_macs_total").Add(rep.MACs)
-	reg.Counter("sim_arena_round_epochs_total").Add(ar.roundStamp)
-	reg.Counter("sim_arena_group_epochs_total").Add(ar.groupStamp)
+	reg.Counter("sim_arena_round_epochs_total").Add(ar.roundStamp - ar.runRound0)
+	reg.Counter("sim_arena_group_epochs_total").Add(ar.groupStamp - ar.runGroup0)
 	reg.Gauge("sim_pe_utilization").Set(rep.PEUtilization)
 	reg.Gauge("sim_compute_utilization").Set(rep.ComputeUtil)
 	reg.Gauge("sim_onchip_reuse_ratio").Set(rep.OnChipReuseRatio)

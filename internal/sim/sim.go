@@ -15,7 +15,6 @@ package sim
 import (
 	"context"
 	"fmt"
-	"slices"
 	"sort"
 
 	"github.com/atomic-dataflow/atomicflow/internal/atom"
@@ -24,7 +23,6 @@ import (
 	"github.com/atomic-dataflow/atomicflow/internal/dram"
 	"github.com/atomic-dataflow/atomicflow/internal/energy"
 	"github.com/atomic-dataflow/atomicflow/internal/engine"
-	"github.com/atomic-dataflow/atomicflow/internal/mapping"
 	"github.com/atomic-dataflow/atomicflow/internal/noc"
 	"github.com/atomic-dataflow/atomicflow/internal/obs"
 	"github.com/atomic-dataflow/atomicflow/internal/schedule"
@@ -44,6 +42,12 @@ type Config struct {
 	// DoubleBuffer overlaps a Round's DRAM fetches with the previous
 	// Round's compute (default true via DefaultConfig).
 	DoubleBuffer bool
+	// Pipeline runs Round t+1's placement and buffer replay on a second
+	// goroutine while Round t is being timed (default true via
+	// DefaultConfig). The two stages share no mutable state, so the
+	// Report is bit-identical with the pipeline on or off — pinned by
+	// TestSimPipelineParity and the zoo digest matrix.
+	Pipeline bool
 	// NaiveMapping places Rounds in plain zig-zag order without the
 	// TransferCost permutation search or weight-affinity refinement —
 	// the placement a reuse-oblivious runtime (e.g. Rammer) would use.
@@ -109,6 +113,7 @@ func DefaultConfig() Config {
 		DRAM:         dram.Default(),
 		Energy:       energy.Default(),
 		DoubleBuffer: true,
+		Pipeline:     true,
 	}
 }
 
@@ -167,210 +172,54 @@ func (r Report) NoCOverheadFraction() float64 {
 }
 
 // Run simulates the schedule on the configured hardware.
+//
+// The Round loop is a two-stage software pipeline (see pipeline.go):
+// round t+1's placement and buffer replay can run on a second goroutine
+// while round t is timed, and the mapper/buffer-manager/arena trio is
+// pooled across Run calls keyed by mesh shape. Neither changes the
+// Report by a single bit — Reports are pinned by the golden and zoo
+// digest tests with the pipeline both on and off.
 func Run(d *atom.DAG, s *schedule.Schedule, cfg Config) (Report, error) {
 	if err := cfg.Validate(); err != nil {
 		return Report{}, err
 	}
 	n := cfg.Mesh.Engines()
-	man, err := buffer.New(d, s, n, cfg.UsableBufferBytes())
+	st, reused, err := acquireState(cfg, d, s)
 	if err != nil {
 		return Report{}, err
 	}
-	mapper := mapping.New(cfg.Mesh, d)
+	defer releaseState(cfg.Mesh, st)
 	hbm := dram.New(cfg.DRAM)
 	orc := cost.Or(cfg.Oracle)
-	ar := newArena(cfg.Mesh)
 	sm := newSimMetrics(cfg.Metrics, cfg.Mesh)
 	if sm != nil {
-		ar.linkTraffic = sm.linkBytes
+		st.ar.linkTraffic = sm.linkBytes
+		if reused {
+			sm.poolReuse.Inc()
+		}
 	}
 
-	var rep Report
-	rep.Rounds = s.NumRounds()
-	var totalInputs, onChipInputs int64
-	now := int64(0) // current time (Round start)
-	prevStart := int64(0)
-	for t, round := range s.Rounds {
-		if cfg.Ctx != nil {
-			if err := cfg.Ctx.Err(); err != nil {
-				return Report{}, fmt.Errorf("sim: %w", err)
-			}
-		}
-		var placed mapping.Result
-		if cfg.NaiveMapping {
-			placed = mapper.PlaceRound(round.Atoms, func(int) int { return -1 })
-		} else {
-			placed = mapper.PlaceRoundWeighted(round.Atoms, man.Locate, man.HasWeights)
-		}
-		io, err := man.ExecuteRound(t, placed.EngineOf)
-		if err != nil {
-			return Report{}, err
-		}
-
-		// --- DRAM reads: one aggregate request per engine. With double
-		// buffering the request is issued at the previous Round's start
-		// (prefetch); data is usable no earlier than this Round's start.
-		ar.beginRound()
-		issueAt := now
-		if cfg.DoubleBuffer {
-			issueAt = prevStart
-		}
-		// Deterministic engine order.
-		engines := ar.engines[:0]
-		for _, id := range round.Atoms {
-			engines = append(engines, placed.EngineOf[id])
-		}
-		slices.Sort(engines)
-		ar.engines = engines
-		for _, e := range engines {
-			if b := io.DRAMReadBytes[e]; b > 0 {
-				done := hbm.Read(issueAt, b)
-				if done < now {
-					done = now
-				}
-				ar.setDRAMReady(e, done)
-			}
-		}
-
-		// --- NoC flows: link-level serialization along XY routes, with
-		// tagged weight broadcasts delivered as multicast trees.
-		var roundByteHops int64
-		if useReferenceFlows {
-			ready, bh := simulateFlowsReference(cfg.Mesh, io.Flows, now)
-			for e, at := range ready {
-				ar.setNoCReady(e, at)
-			}
-			roundByteHops = bh
-		} else {
-			roundByteHops = ar.simulateFlows(io.Flows, now)
-		}
-
-		// --- Compute: engines stream inputs concurrently with execution
-		// (tile-level double buffering), so an engine finishes when both
-		// its compute time has elapsed and its last input byte has
-		// arrived — the Round is bounded by the slower of computation and
-		// data delivery rather than their sum.
-		var endAll, endNoNoC, maxComp int64
-		for _, id := range round.Atoms {
-			e := placed.EngineOf[id]
-			comp := s.ComputeCycles[id]
-			if comp > maxComp {
-				maxComp = comp
-			}
-			end := now + comp
-			if r, ok := ar.getDRAMReady(e); ok && r > end {
-				end = r
-			}
-			if end > endNoNoC {
-				endNoNoC = end
-			}
-			if r, ok := ar.getNoCReady(e); ok && r > end {
-				end = r
-			}
-			if end > endAll {
-				endAll = end
-			}
-		}
-		endNoMem := now + maxComp
-		if endNoNoC < endNoMem {
-			endNoNoC = endNoMem
-		}
-		if endAll < endNoNoC {
-			endAll = endNoNoC
-		}
-
-		// --- Write-backs post at Round end without blocking it.
-		for _, e := range engines {
-			if b := io.DRAMWriteBytes[e]; b > 0 {
-				hbm.Write(endAll, b)
-			}
-		}
-
-		// --- Metrics (one branch when disabled). The barrier-wait pass
-		// recomputes each atom's finish time against the Round barrier;
-		// busy/idle split the Round span per engine.
-		if sm != nil {
-			span := endAll - now
-			sm.observeRound(span, endAll-endNoNoC, endNoNoC-endNoMem,
-				placed.Perms, placed.ByteHops, len(io.Flows))
-			for _, id := range round.Atoms {
-				e := placed.EngineOf[id]
-				comp := s.ComputeCycles[id]
-				end := now + comp
-				if r, ok := ar.getDRAMReady(e); ok && r > end {
-					end = r
-				}
-				if r, ok := ar.getNoCReady(e); ok && r > end {
-					end = r
-				}
-				sm.barrierWait.ObserveInt(endAll - end)
-				sm.busy[e].Add(comp)
-				sm.compOf[e] = comp
-			}
-			for e := 0; e < n; e++ {
-				sm.idle[e].Add(span - sm.compOf[e])
-				sm.compOf[e] = 0
-			}
-		}
-
-		// --- Accounting.
-		rep.ComputeCycles += maxComp
-		rep.NoCBlockedCycles += endAll - endNoNoC
-		rep.DRAMBlockedCycles += endNoNoC - endNoMem
-		for _, id := range round.Atoms {
-			c := orc.Evaluate(cfg.Engine, cfg.Dataflow, d.Atoms[id].Task)
-			rep.MACs += c.MACs
-		}
-		rep.NoCByteHops += roundByteHops
-		rep.Energy.AddNoC(cfg.Energy, roundByteHops)
-		var sramR, sramW int64
-		for e := 0; e < n; e++ {
-			sramR += io.SRAMReadBytes[e]
-			sramW += io.SRAMWriteBytes[e]
-		}
-		rep.Energy.AddSRAM(cfg.Energy, sramR, sramW)
-		rep.DRAMReadBytes += sumSlice(io.DRAMReadBytes)
-		rep.DRAMWriteBytes += sumSlice(io.DRAMWriteBytes)
-		totalInputs += io.InputBytesTotal
-		onChipInputs += io.InputBytesOnChip
-
-		if cfg.Trace != nil {
-			tr := RoundTrace{
-				Round: t, Start: now, End: endAll, ComputeEnd: endNoMem,
-				Flows:     len(io.Flows),
-				DRAMRead:  sumSlice(io.DRAMReadBytes),
-				DRAMWrite: sumSlice(io.DRAMWriteBytes),
-				DRAMEnd:   endNoNoC,
-				DRAMIssue: issueAt,
-				DRAMReady: now,
-			}
-			for _, e := range engines {
-				if r, ok := ar.getDRAMReady(e); ok && r > tr.DRAMReady {
-					tr.DRAMReady = r
-				}
-			}
-			for _, f := range io.Flows {
-				tr.FlowBytes += f.Bytes
-			}
-			for _, id := range round.Atoms {
-				a := d.Atoms[id]
-				tr.Atoms = append(tr.Atoms, AtomTrace{
-					Atom: id, Layer: a.Layer, Sample: a.Sample,
-					Engine: placed.EngineOf[id], Cycles: s.ComputeCycles[id],
-				})
-			}
-			cfg.Trace(tr)
-		}
-
-		prevStart = now
-		now = endAll
+	r := &runner{
+		cfg: cfg, d: d, s: s, n: n,
+		man: st.man, mapper: st.mapper, ar: st.ar,
+		hbm: hbm, orc: orc, sm: sm,
+	}
+	r.rep.Rounds = s.NumRounds()
+	if cfg.Pipeline && s.NumRounds() > 1 {
+		err = r.runPipelined()
+	} else {
+		err = r.runSerial()
+	}
+	if err != nil {
+		return Report{}, err
 	}
 
-	rep.Cycles = now
-	rep.TimeMS = float64(now) / (cfg.Engine.FreqMHz * 1e3)
-	rep.Evictions = man.Evictions()
-	if totalInputs > 0 {
-		rep.OnChipReuseRatio = float64(onChipInputs) / float64(totalInputs)
+	rep := &r.rep
+	rep.Cycles = r.now
+	rep.TimeMS = float64(r.now) / (cfg.Engine.FreqMHz * 1e3)
+	rep.Evictions = st.man.Evictions()
+	if r.totalInputs > 0 {
+		rep.OnChipReuseRatio = float64(r.onChipInputs) / float64(r.totalInputs)
 	}
 	totalPEs := int64(n * cfg.Engine.NumPEs() * cfg.Engine.MACsPerPE)
 	if rep.Cycles > 0 {
@@ -383,9 +232,9 @@ func Run(d *atom.DAG, s *schedule.Schedule, cfg Config) (Report, error) {
 	rep.Energy.AddDRAM(cfg.Energy, rep.DRAMReadBytes+rep.DRAMWriteBytes)
 	rep.Energy.AddStatic(cfg.Energy, rep.Cycles*int64(n))
 	if sm != nil {
-		sm.finish(&rep, man, hbm, orc, ar)
+		sm.finish(rep, st.man, hbm, orc, st.ar)
 	}
-	return rep, nil
+	return r.rep, nil
 }
 
 // useReferenceFlows routes Run through the map-based reference NoC path
